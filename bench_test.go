@@ -1,0 +1,285 @@
+// Package antidope's repository-root benchmarks regenerate every table and
+// figure of the paper's evaluation (see the experiment index in DESIGN.md).
+// Each benchmark iteration executes the figure's full experiment in Quick
+// mode; run the cmd/paperbench binary (without -quick) for the
+// full-fidelity numbers recorded in EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+package antidope
+
+import (
+	"testing"
+
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/core"
+	"antidope/internal/defense"
+	"antidope/internal/experiments"
+	"antidope/internal/workload"
+)
+
+func opts(i int) experiments.Options {
+	return experiments.Options{Seed: uint64(2019 + i), Quick: true}
+}
+
+// BenchmarkTable1WorkloadCatalog exercises Table 1: minting one request of
+// every catalog class through the demand sampler.
+func BenchmarkTable1WorkloadCatalog(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 30
+	cfg.WarmupSec = 1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := core.RunOnce(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Schemes runs one short attacked window under each of the
+// four Table 2 schemes.
+func BenchmarkTable2Schemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scheme := range defense.Evaluated(core.Ladder(core.DefaultConfig())) {
+			cfg := core.DefaultConfig()
+			cfg.Horizon = 40
+			cfg.Cluster.Budget = cluster.MediumPB
+			cfg.Scheme = scheme
+			cfg.Seed = uint64(i + 1)
+			cfg.Attacks = []attack.Spec{{
+				Name: "bench", Layer: attack.ApplicationLayer,
+				Class: workload.CollaFilt, RateRPS: 60, Agents: 16,
+				Start: 5, Duration: 35,
+			}}
+			if _, err := core.RunOnce(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3PowerProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(opts(i))
+		if !r.AppLayerTops() {
+			b.Fatal("fig3 shape lost")
+		}
+	}
+}
+
+func BenchmarkFig4PowerVsRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(opts(i))
+		if len(r.MeanPower) == 0 {
+			b.Fatal("fig4 empty")
+		}
+	}
+}
+
+func BenchmarkFig5PowerCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(opts(i))
+		if len(r.CDFs) == 0 {
+			b.Fatal("fig5 empty")
+		}
+	}
+}
+
+func BenchmarkFig6VFReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6(opts(i))
+		if len(r.VFReduction) == 0 {
+			b.Fatal("fig6 empty")
+		}
+	}
+}
+
+func BenchmarkFig7ServiceQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(opts(i))
+		if len(r.MeanRT) == 0 {
+			b.Fatal("fig7 empty")
+		}
+	}
+}
+
+func BenchmarkFig8ServiceTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(opts(i))
+		if len(r.Slowdown) == 0 {
+			b.Fatal("fig8 empty")
+		}
+	}
+}
+
+func BenchmarkFig9Availability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(opts(i))
+		if len(r.Availability) == 0 {
+			b.Fatal("fig9 empty")
+		}
+	}
+}
+
+func BenchmarkFig10Firewall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(opts(i))
+		if len(r.With) == 0 {
+			b.Fatal("fig10 empty")
+		}
+	}
+}
+
+func BenchmarkFig11DopeRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(opts(i))
+		if len(r.MinViolatingRPS) == 0 {
+			b.Fatal("fig11 empty")
+		}
+	}
+}
+
+func BenchmarkFig12AttackAlgorithm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(opts(i))
+		if len(r.Trace) == 0 {
+			b.Fatal("fig12 empty")
+		}
+	}
+}
+
+func BenchmarkFig15AntiDope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15(opts(i))
+		if r.PowerUnderAttack.Len() == 0 {
+			b.Fatal("fig15 empty")
+		}
+	}
+}
+
+func BenchmarkFig16MeanResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiments.RunEvalGrid(opts(i))
+		if g.Fig16() == nil {
+			b.Fatal("fig16 empty")
+		}
+	}
+}
+
+func BenchmarkFig17TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiments.RunEvalGrid(opts(i))
+		if g.Fig17() == nil {
+			b.Fatal("fig17 empty")
+		}
+	}
+}
+
+func BenchmarkFig18Battery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig18(opts(i))
+		if len(r.SoC) == 0 {
+			b.Fatal("fig18 empty")
+		}
+	}
+}
+
+func BenchmarkFig19Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiments.RunEvalGrid(opts(i))
+		if g.Fig19() == nil {
+			b.Fatal("fig19 empty")
+		}
+	}
+}
+
+// BenchmarkAblation runs the Anti-DOPE design ablation (DESIGN.md).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablation(opts(i))
+		if len(r.MeanRT) == 0 {
+			b.Fatal("ablation empty")
+		}
+	}
+}
+
+// BenchmarkOutage runs the breaker-trip experiment (Figure 1's motivation).
+func BenchmarkOutage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Outage(opts(i))
+		if len(r.Outages) == 0 {
+			b.Fatal("outage empty")
+		}
+	}
+}
+
+// BenchmarkPulse runs the yo-yo attack stress.
+func BenchmarkPulse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Pulse(opts(i))
+		if len(r.P90) == 0 {
+			b.Fatal("pulse empty")
+		}
+	}
+}
+
+// BenchmarkScale runs the rack-to-room scale-out sweep.
+func BenchmarkScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Scale(opts(i))
+		if len(r.Sizes) == 0 {
+			b.Fatal("scale empty")
+		}
+	}
+}
+
+// BenchmarkCapacity runs the SLA capacity planner per scheme.
+func BenchmarkCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Capacity(opts(i))
+		if len(r.RPS) == 0 {
+			b.Fatal("capacity empty")
+		}
+	}
+}
+
+// BenchmarkDetection runs the power-telemetry detection-latency sweep.
+func BenchmarkDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Detection(opts(i))
+		if len(r.Delay) == 0 {
+			b.Fatal("detection empty")
+		}
+	}
+}
+
+// BenchmarkThermal runs the cooling-attack experiment.
+func BenchmarkThermal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Thermal(opts(i))
+		if len(r.HotFrac) == 0 {
+			b.Fatal("thermal empty")
+		}
+	}
+}
+
+// BenchmarkRobustness runs the multi-seed headline replication.
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Robustness(opts(i))
+		if len(r.MeanImpr) == 0 {
+			b.Fatal("robustness empty")
+		}
+	}
+}
+
+// BenchmarkHeadline reproduces the abstract's 44% / 68.1% comparison.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiments.RunEvalGrid(opts(i))
+		mean, p90, _ := g.Headline()
+		if mean <= 0 || p90 <= 0 {
+			b.Fatalf("headline regression: mean %.2f p90 %.2f", mean, p90)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (the experiment index in DESIGN.md) and prints them with the
+// qualitative checks EXPERIMENTS.md records.
+//
+// Examples:
+//
+//	paperbench              # full-fidelity suite (minutes)
+//	paperbench -quick       # ~4x shorter windows (CI-grade)
+//	paperbench -fig 17      # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"antidope/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink observation windows ~4x")
+		seed  = flag.Uint64("seed", 2019, "experiment seed")
+		fig   = flag.Int("fig", 0, "run a single figure (3..19); 0 = all")
+		extra = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|thermal")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Quick: *quick}
+	w := os.Stdout
+
+	if *extra != "" {
+		switch *extra {
+		case "ablation":
+			experiments.Ablation(o).Table.Fprint(w)
+		case "outage":
+			experiments.Outage(o).Table.Fprint(w)
+		case "pulse":
+			experiments.Pulse(o).Table.Fprint(w)
+		case "scale":
+			experiments.Scale(o).Table.Fprint(w)
+		case "capacity":
+			experiments.Capacity(o).Table.Fprint(w)
+		case "detection":
+			experiments.Detection(o).Table.Fprint(w)
+		case "robustness":
+			experiments.Robustness(o).Table.Fprint(w)
+		case "thermal":
+			experiments.Thermal(o).Table.Fprint(w)
+		default:
+			fmt.Fprintf(os.Stderr, "paperbench: unknown extra experiment %q\n", *extra)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fig == 0 {
+		experiments.All(o, w)
+		return
+	}
+	switch *fig {
+	case 3:
+		r := experiments.Fig3(o)
+		r.Table.Fprint(w)
+		fmt.Fprintf(w, "ranking: %v\n", r.Ranking)
+	case 4:
+		r := experiments.Fig4(o)
+		r.TableA.Fprint(w)
+		r.TableB.Fprint(w)
+	case 5:
+		r := experiments.Fig5(o)
+		r.TableA.Fprint(w)
+		r.TableB.Fprint(w)
+	case 6:
+		r := experiments.Fig6(o)
+		r.TableA.Fprint(w)
+		r.TableB.Fprint(w)
+	case 7:
+		experiments.Fig7(o).Table.Fprint(w)
+	case 8:
+		experiments.Fig8(o).Table.Fprint(w)
+	case 9:
+		experiments.Fig9(o).Table.Fprint(w)
+	case 10:
+		experiments.Fig10(o).Table.Fprint(w)
+	case 11:
+		experiments.Fig11(o).Table.Fprint(w)
+	case 12:
+		experiments.Fig12(o).Table.Fprint(w)
+	case 15:
+		r := experiments.Fig15(o)
+		r.TableA.Fprint(w)
+		r.TableB.Fprint(w)
+	case 16, 17, 19:
+		grid := experiments.RunEvalGrid(o)
+		switch *fig {
+		case 16:
+			grid.Fig16().Fprint(w)
+		case 17:
+			grid.Fig17().Fprint(w)
+		case 19:
+			grid.Fig19().Fprint(w)
+		}
+	case 18:
+		experiments.Fig18(o).Table.Fprint(w)
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: no experiment for figure %d (figures 1/2/13/14 are diagrams)\n", *fig)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module antidope
+
+go 1.22

@@ -1,0 +1,273 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizedAutonomy(t *testing.T) {
+	u := Sized(400, 120) // paper's mini battery: 2 minutes at full draw
+	if u.CapacityJ != 48000 {
+		t.Fatalf("capacity %g", u.CapacityJ)
+	}
+	if u.SoC() != 1 {
+		t.Fatalf("initial SoC %g", u.SoC())
+	}
+	if got := u.AutonomyAt(400); math.Abs(got-120) > 1e-9 {
+		t.Fatalf("autonomy %g, want 120", got)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDischargeDrains(t *testing.T) {
+	u := Sized(100, 10) // 1000 J
+	got := u.Discharge(100, 5)
+	if got != 100 {
+		t.Fatalf("delivered %g, want 100", got)
+	}
+	if math.Abs(u.Level()-500) > 1e-9 {
+		t.Fatalf("level %g, want 500", u.Level())
+	}
+	// Second half drains it completely.
+	got = u.Discharge(100, 5)
+	if got != 100 || !u.Empty() {
+		t.Fatalf("delivered %g, empty=%v", got, u.Empty())
+	}
+	// Nothing left.
+	if got := u.Discharge(100, 1); got != 0 {
+		t.Fatalf("delivered %g from empty battery", got)
+	}
+}
+
+func TestDischargeLimitedByInverter(t *testing.T) {
+	u := Sized(100, 100)
+	if got := u.Discharge(500, 1); got != 100 {
+		t.Fatalf("delivered %g, inverter limit 100", got)
+	}
+}
+
+func TestDischargeLimitedByEnergy(t *testing.T) {
+	u := Sized(100, 1) // 100 J
+	// Want 100 W for 10 s = 1000 J but only 100 J stored: delivers 10 W.
+	if got := u.Discharge(100, 10); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("delivered %g, want 10", got)
+	}
+	if !u.Empty() {
+		t.Fatal("battery should be empty")
+	}
+}
+
+func TestChargeRefills(t *testing.T) {
+	u := Sized(100, 10) // 1000 J, max charge 10 W, eff 0.9
+	u.SetSoC(0)
+	used := u.Charge(50, 10)
+	if math.Abs(used-10) > 1e-9 {
+		t.Fatalf("charge used %g, want 10 (charger limit)", used)
+	}
+	if math.Abs(u.Level()-90) > 1e-9 {
+		t.Fatalf("level %g, want 90 (10W*10s*0.9)", u.Level())
+	}
+}
+
+func TestChargeStopsWhenFull(t *testing.T) {
+	u := Sized(100, 10)
+	if used := u.Charge(50, 10); used != 0 {
+		t.Fatalf("full battery accepted %g W", used)
+	}
+}
+
+func TestChargePartialRoom(t *testing.T) {
+	u := Sized(100, 10) // 1000 J
+	u.SetSoC(0.999)     // 1 J of room
+	used := u.Charge(50, 10)
+	wantUsed := 1.0 / (10 * 0.9)
+	if math.Abs(used-wantUsed) > 1e-9 {
+		t.Fatalf("used %g, want %g", used, wantUsed)
+	}
+	if math.Abs(u.SoC()-1) > 1e-9 {
+		t.Fatalf("SoC %g after topping off", u.SoC())
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	u := Sized(100, 10)
+	u.Discharge(100, 2)
+	u.Charge(50, 4)
+	if u.DischargedJ() != 200 {
+		t.Fatalf("discharged %g", u.DischargedJ())
+	}
+	if math.Abs(u.ChargedJ()-40) > 1e-9 {
+		t.Fatalf("charged %g, want 40 (10W*4s)", u.ChargedJ())
+	}
+}
+
+func TestCycleCounting(t *testing.T) {
+	u := Sized(100, 100)
+	u.Discharge(10, 1)
+	u.Charge(10, 1)
+	u.Discharge(10, 1) // charge->discharge completes one cycle
+	u.Charge(10, 1)
+	u.Discharge(10, 1)
+	if got := u.Cycles(); got != 2 {
+		t.Fatalf("cycles %d, want 2", got)
+	}
+}
+
+func TestZeroValueIsAbsentBattery(t *testing.T) {
+	var u UPS
+	if u.SoC() != 0 || !u.Empty() {
+		t.Fatal("zero UPS should be empty")
+	}
+	if got := u.Discharge(100, 1); got != 0 {
+		t.Fatalf("zero UPS delivered %g", got)
+	}
+	if got := u.Charge(100, 1); got != 0 {
+		t.Fatalf("zero UPS accepted %g", got)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSoCClamps(t *testing.T) {
+	u := Sized(100, 10)
+	u.SetSoC(2)
+	if u.SoC() != 1 {
+		t.Fatalf("SoC %g after SetSoC(2)", u.SoC())
+	}
+	u.SetSoC(-1)
+	if u.SoC() != 0 {
+		t.Fatalf("SoC %g after SetSoC(-1)", u.SoC())
+	}
+}
+
+func TestAutonomyEdges(t *testing.T) {
+	u := Sized(100, 10)
+	if got := u.AutonomyAt(0); got != 0 {
+		t.Fatalf("autonomy at zero draw %g", got)
+	}
+	// Draw above inverter rating is clamped.
+	if got := u.AutonomyAt(1000); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("autonomy at excess draw %g, want 10", got)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	u := Sized(100, 10)
+	u.Efficiency = 1.5
+	if u.Validate() == nil {
+		t.Fatal("bad efficiency validated")
+	}
+	v := Sized(100, 10)
+	v.CapacityJ = -1
+	if v.Validate() == nil {
+		t.Fatal("negative capacity validated")
+	}
+}
+
+// Property: level always stays within [0, capacity] under arbitrary
+// interleavings of charge and discharge.
+func TestQuickLevelBounded(t *testing.T) {
+	f := func(ops []uint8) bool {
+		u := Sized(100, 10)
+		for _, op := range ops {
+			w := float64(op%200) + 1
+			dt := float64(op%7)/2 + 0.1
+			if op%2 == 0 {
+				u.Discharge(w, dt)
+			} else {
+				u.Charge(w, dt)
+			}
+			if u.Level() < -1e-9 || u.Level() > u.CapacityJ+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy is conserved — delivered joules never exceed initial
+// level plus charged joules times efficiency.
+func TestQuickEnergyConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		u := Sized(100, 10)
+		initial := u.Level()
+		for _, op := range ops {
+			w := float64(op%150) + 1
+			if op%3 == 0 {
+				u.Charge(w, 0.5)
+			} else {
+				u.Discharge(w, 0.5)
+			}
+		}
+		return u.DischargedJ() <= initial+u.ChargedJ()*u.Efficiency+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDischargeCharge(b *testing.B) {
+	u := Sized(400, 120)
+	for i := 0; i < b.N; i++ {
+		u.Discharge(100, 0.1)
+		u.Charge(100, 0.1)
+	}
+}
+
+func TestEquivalentFullCycles(t *testing.T) {
+	u := Sized(100, 10) // 1000 J
+	u.Discharge(100, 5) // 500 J
+	u.Charge(100, 1e6)  // refill
+	u.Discharge(100, 5) // another 500 J
+	if got := u.EquivalentFullCycles(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("EFC %g, want 1.0", got)
+	}
+	var none UPS
+	if none.EquivalentFullCycles() != 0 {
+		t.Fatal("absent battery has cycles")
+	}
+}
+
+func TestDeepestDischargeDoD(t *testing.T) {
+	u := Sized(100, 10)
+	if u.DeepestDischargeDoD() != 0 {
+		t.Fatal("unused battery has DoD")
+	}
+	u.Discharge(100, 3) // down to 700 J: DoD 0.3
+	u.Charge(1000, 1e6) // full again
+	if got := u.DeepestDischargeDoD(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("DoD %g, want 0.3 (recharge must not erase history)", got)
+	}
+	u.Discharge(100, 8) // down to 200 J: DoD 0.8
+	if got := u.DeepestDischargeDoD(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("DoD %g, want 0.8", got)
+	}
+}
+
+func TestLifeConsumed(t *testing.T) {
+	u := Sized(100, 10)
+	u.Discharge(100, 10) // one full cycle, DoD 1.0
+	// 500 rated cycles, depth penalty 1: life = 1/500 × 2 = 0.004.
+	if got := u.LifeConsumed(500, 1); math.Abs(got-0.004) > 1e-12 {
+		t.Fatalf("life %g, want 0.004", got)
+	}
+	if u.LifeConsumed(0, 1) != 0 {
+		t.Fatal("zero rated cycles")
+	}
+	// Shallow cycling wears less than deep cycling for equal throughput.
+	shallow := Sized(100, 10)
+	for i := 0; i < 10; i++ {
+		shallow.Discharge(100, 1) // 10% each
+		shallow.Charge(1000, 1e6)
+	}
+	if shallow.LifeConsumed(500, 1) >= u.LifeConsumed(500, 1) {
+		t.Fatal("shallow cycling should wear less than one deep cycle")
+	}
+}

@@ -1,0 +1,12 @@
+package core
+
+import "antidope/internal/trace"
+
+// trendTrace returns a tiny deterministic trace for modulation tests.
+func trendTrace() *trace.Trace {
+	return &trace.Trace{
+		IntervalSec: 10,
+		Samples:     []float64{0.2, 0.3, 0.5, 0.6, 0.5, 0.4},
+		Machines:    4,
+	}
+}

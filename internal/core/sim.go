@@ -1,0 +1,544 @@
+package core
+
+import (
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/defense"
+	"antidope/internal/firewall"
+	"antidope/internal/netlb"
+	"antidope/internal/power"
+	"antidope/internal/rng"
+	"antidope/internal/server"
+	"antidope/internal/simtime"
+	"antidope/internal/stats"
+	"antidope/internal/thermal"
+	"antidope/internal/workload"
+)
+
+// Source-ID blocks keep traffic populations disjoint for the firewall.
+const (
+	legitSourceBase  workload.SourceID = 0
+	attackSourceBase workload.SourceID = 1 << 20
+	dopeSourceBase   workload.SourceID = 1 << 21
+)
+
+// Simulation is one assembled run. Build with New, execute with Run.
+type Simulation struct {
+	cfg    Config
+	eng    *simtime.Engine
+	cl     *cluster.Cluster
+	bal    *netlb.Balancer
+	fw     *firewall.Firewall
+	scheme defense.Scheme
+	env    *defense.Env
+
+	factory *workload.Factory
+	mix     *workload.Mix
+	rnd     *rng.Stream
+
+	// Adaptive attacker state.
+	dope        *attack.DopeAttacker
+	dopePlan    attack.Plan
+	dopeRnd     *rng.Stream
+	epochBanned map[workload.SourceID]bool
+	epochSlow   stats.Summary
+
+	breaker     *cluster.Breaker
+	outageUntil float64
+	plant       *thermal.Plant
+	thermalHot  int // slots with any server thermally throttled
+
+	res         *Result
+	prevRep     defense.SlotReport
+	lastEnergyJ float64
+	lastTick    float64
+	slots       int
+	slotsOver   int
+}
+
+// New validates the configuration and assembles a simulation.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	bal, err := netlb.New(cl.Servers, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = defense.NewNone()
+	}
+	s := &Simulation{
+		cfg:    cfg,
+		eng:    simtime.NewEngine(),
+		cl:     cl,
+		bal:    bal,
+		fw:     firewall.New(cfg.Firewall),
+		scheme: scheme,
+		rnd:    rng.New(cfg.Seed),
+	}
+	s.env = &defense.Env{
+		Cluster:  cl,
+		Balancer: bal,
+		SlotSec:  cfg.SlotSec,
+		Model:    cfg.Cluster.Model,
+	}
+	if cfg.Breaker.Enabled {
+		ratingFrac := cfg.Breaker.RatingFrac
+		if ratingFrac <= 0 {
+			ratingFrac = 1.05
+		}
+		tolerance := cfg.Breaker.ToleranceSec
+		if tolerance <= 0 {
+			tolerance = 30
+		}
+		rating := cl.BudgetW * ratingFrac
+		overload := cl.Nameplate() - rating
+		if overload <= 0 {
+			overload = 0.1 * cl.Nameplate()
+		}
+		br, err := cluster.NewBreaker(rating, overload, tolerance)
+		if err != nil {
+			return nil, err
+		}
+		s.breaker = br
+	}
+	if cfg.Thermal.Enabled {
+		tcfg := cfg.Thermal.Defaults()
+		if tcfg.CRACCapacityW == 0 {
+			tcfg.CRACCapacityW = cl.BudgetW
+		}
+		plant, err := thermal.NewPlant(tcfg, len(cl.Servers))
+		if err != nil {
+			return nil, err
+		}
+		s.plant = plant
+	}
+	s.factory = workload.NewFactory(s.rnd.Split("factory"))
+	s.res = &Result{
+		SchemeName:           scheme.Name(),
+		BudgetW:              cl.BudgetW,
+		NameplateW:           cl.Nameplate(),
+		Horizon:              cfg.Horizon,
+		LatencyLegit:         &stats.Sample{},
+		LatencyAttack:        &stats.Sample{},
+		LatencyByClass:       make(map[workload.Class]*stats.Sample),
+		DroppedByReason:      make(map[string]uint64),
+		LegitDroppedByReason: make(map[string]uint64),
+	}
+
+	s.buildTraffic()
+	if cfg.Dope != nil {
+		s.dope = attack.NewDopeAttacker(*cfg.Dope)
+		s.dopePlan = s.dope.Current()
+		s.dopeRnd = s.rnd.Split("dope")
+		s.epochBanned = make(map[workload.SourceID]bool)
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Simulation {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// buildTraffic assembles the merged legit + static-attack arrival stream.
+func (s *Simulation) buildTraffic() {
+	var sources []workload.Source
+	var caps []float64
+	if s.cfg.NormalRPS > 0 {
+		rate := workload.ConstRate(s.cfg.NormalRPS)
+		cap := s.cfg.NormalRPS
+		if s.cfg.Trace != nil {
+			rate = s.cfg.Trace.RateFn(s.cfg.NormalRPS)
+			// The trace multiplies by util/meanUtil; peak-to-mean bounds it.
+			ptm := s.cfg.Trace.PeakToMean()
+			if ptm < 1 {
+				ptm = 1
+			}
+			cap = s.cfg.NormalRPS * ptm * 1.01
+		}
+		sources = append(sources, workload.Source{
+			Class:       workload.AliNormal,
+			Origin:      workload.Legit,
+			Rate:        rate,
+			Sources:     s.cfg.NormalSources,
+			FirstSource: legitSourceBase,
+		})
+		caps = append(caps, cap)
+	}
+	for _, es := range s.cfg.ExtraSources {
+		sources = append(sources, es.Source)
+		caps = append(caps, es.RateCap)
+	}
+	base := attackSourceBase
+	for _, spec := range s.cfg.Attacks {
+		sources = append(sources, spec.Source(base))
+		caps = append(caps, spec.RateRPS)
+		base += workload.SourceID(spec.Agents)
+	}
+	if len(sources) > 0 {
+		s.mix = workload.NewMix(sources, caps, s.factory, s.rnd.Split("mix"))
+	}
+}
+
+// Run executes the simulation to the horizon and returns the measurements.
+// A Simulation is single-use; Run must be called exactly once.
+func (s *Simulation) Run() *Result {
+	s.scheme.Setup(s.env)
+
+	// Arrival pump for the merged static stream.
+	if s.mix != nil {
+		s.pumpMix()
+	}
+	// Adaptive attacker: arrival chain plus feedback epochs.
+	if s.dope != nil {
+		s.scheduleDopeArrival(s.cfg.DopeStart)
+		s.eng.Tick(s.cfg.DopeStart+s.cfg.DopeEpochSec, s.cfg.DopeEpochSec, s.dopeEpoch)
+	}
+	// Power-control loop.
+	s.eng.Tick(s.cfg.SlotSec, s.cfg.SlotSec, s.controlTick)
+	// Initial sample at t=0 so series start at the origin.
+	s.sample(0)
+
+	s.eng.RunUntil(s.cfg.Horizon)
+	s.finish()
+	return s.res
+}
+
+// pumpMix schedules the next arrival from the merged stream; each arrival
+// event re-arms the pump.
+func (s *Simulation) pumpMix() {
+	a, ok := s.mix.Next(s.cfg.Horizon)
+	if !ok {
+		return
+	}
+	req := a.Req
+	s.eng.Schedule(a.At, func(now float64) {
+		s.handleArrival(now, req)
+		s.pumpMix()
+	})
+}
+
+// scheduleDopeArrival arms the adaptive attacker's next request using the
+// current plan's rate; rate changes apply from the next arrival on.
+func (s *Simulation) scheduleDopeArrival(after float64) {
+	rate := s.dopePlan.RPS
+	if rate <= 0 {
+		return
+	}
+	at := after + s.dopeRnd.Exp(1/rate)
+	if at >= s.cfg.Horizon {
+		return
+	}
+	s.eng.Schedule(at, func(now float64) {
+		agents := s.dopePlan.Agents
+		src := dopeSourceBase + workload.SourceID(s.dopeRnd.Intn(agents))
+		req := s.factory.New(now, s.dopePlan.Class, workload.Attack, src)
+		s.handleArrival(now, req)
+		s.scheduleDopeArrival(now)
+	})
+}
+
+// dopeEpoch closes one probe epoch: build the attacker's feedback from what
+// it could externally observe and step the plan.
+func (s *Simulation) dopeEpoch(now float64) {
+	fb := attack.Feedback{
+		BannedAgents: len(s.epochBanned),
+		Effective:    s.epochSlow.Count() > 0 && s.epochSlow.Mean() > s.cfg.DopeEffectiveSlowdown,
+	}
+	s.dopePlan = s.dope.Step(fb)
+	s.res.DopeTrace = append(s.res.DopeTrace, DopeEpoch{
+		At:        now,
+		Class:     s.dopePlan.Class,
+		RPS:       s.dopePlan.RPS,
+		Agents:    s.dopePlan.Agents,
+		Banned:    fb.BannedAgents,
+		Effective: fb.Effective,
+	})
+	s.epochBanned = make(map[workload.SourceID]bool)
+	s.epochSlow = stats.Summary{}
+}
+
+// handleArrival runs one request through firewall → scheme admission →
+// balancer → server.
+func (s *Simulation) handleArrival(now float64, req *workload.Request) {
+	measured := req.ArriveAt >= s.cfg.WarmupSec
+	if measured {
+		if req.Origin == workload.Legit {
+			s.res.OfferedLegit++
+		} else {
+			s.res.OfferedAttack++
+		}
+	}
+
+	if now < s.outageUntil {
+		req.Dropped = true
+		req.DropReason = "outage"
+		s.recordDrop(req, measured)
+		return
+	}
+	if verdict := s.fw.Observe(now, req); verdict != firewall.Allowed {
+		s.recordDrop(req, measured)
+		// Rate-limit drops are silent shaping; only bans are the signal the
+		// adaptive attacker reacts to.
+		if verdict == firewall.Banned && s.dope != nil && req.Source >= dopeSourceBase {
+			s.epochBanned[req.Source] = true
+		}
+		return
+	}
+	if !s.scheme.Admit(now, req) {
+		s.recordDrop(req, measured)
+		return
+	}
+	sv := s.bal.Route(req)
+	for _, done := range sv.Advance(now) {
+		s.recordCompletion(done)
+	}
+	if !sv.Admit(now, req) {
+		s.recordDrop(req, measured)
+		return
+	}
+	s.scheduleCompletion(sv)
+}
+
+// scheduleCompletion arms the server's next completion event, stamped with
+// the server version so stale events self-cancel.
+func (s *Simulation) scheduleCompletion(sv *server.Server) {
+	at, ok := sv.NextCompletion()
+	if !ok {
+		return
+	}
+	if at > s.cfg.Horizon {
+		// Let the finish() drain handle it; keeping the event would just
+		// die at the horizon anyway.
+		return
+	}
+	ver := sv.Version()
+	s.eng.Schedule(at, func(now float64) {
+		if sv.Version() != ver {
+			return // superseded by a later arrival/cap/completion
+		}
+		for _, done := range sv.Advance(now) {
+			s.recordCompletion(done)
+		}
+		s.scheduleCompletion(sv)
+	})
+}
+
+// controlTick is the per-slot power-management loop.
+func (s *Simulation) controlTick(now float64) {
+	// Bring every server to the decision instant (may surface completions).
+	for _, sv := range s.cl.Servers {
+		for _, done := range sv.Advance(now) {
+			s.recordCompletion(done)
+		}
+	}
+	// Close the books on the slot that just ended.
+	s.accountSlot(now)
+
+	rep := s.scheme.ControlSlot(now, s.env)
+	s.prevRep = rep
+
+	// Frequencies may have moved: re-arm completion events.
+	for _, sv := range s.cl.Servers {
+		s.scheduleCompletion(sv)
+	}
+	s.sample(now)
+
+	s.slots++
+	if s.cl.PowerNow()-rep.BatteryW > s.cl.BudgetW+1e-9 {
+		s.slotsOver++
+	}
+
+	if s.breaker != nil && now >= s.outageUntil {
+		net := s.cl.PowerNow() - rep.BatteryW
+		if s.breaker.Step(s.cfg.SlotSec, net) {
+			s.trip(now)
+		}
+	}
+
+	if s.plant != nil {
+		s.thermalTick(now)
+	}
+}
+
+// thermalTick advances the cooling plane and applies the hardware's
+// emergency thermal throttle: a hot server is forced down two ladder steps
+// per slot, overriding whatever the scheme decided. Temperatures follow the
+// servers' instantaneous draw, so the throttle's own power reduction feeds
+// back into the next step.
+func (s *Simulation) thermalTick(now float64) {
+	draws := make([]float64, len(s.cl.Servers))
+	for i, sv := range s.cl.Servers {
+		draws[i] = sv.PowerNow()
+	}
+	hot := s.plant.Step(s.cfg.SlotSec, draws)
+	anyHot := false
+	for i, h := range hot {
+		if !h {
+			continue
+		}
+		anyHot = true
+		sv := s.cl.Servers[i]
+		sv.CapFreq(sv.Model.Ladder.StepDown(sv.Freq(), 2))
+		s.scheduleCompletion(sv)
+	}
+	if anyHot {
+		s.thermalHot++
+	}
+	s.res.MaxTempC.Add(now, s.plant.MaxTempC())
+	s.res.InletTempC.Add(now, s.plant.InletC())
+}
+
+// trip opens the breaker: every in-flight request is lost, arrivals are
+// refused until power returns, and the breaker is reset at repair time.
+func (s *Simulation) trip(now float64) {
+	repair := s.cfg.Breaker.RepairSec
+	if repair <= 0 {
+		repair = 60
+	}
+	s.res.Outages++
+	until := now + repair
+	if until > s.cfg.Horizon {
+		until = s.cfg.Horizon
+	}
+	s.res.OutageSeconds += until - now
+	s.outageUntil = until
+	for _, sv := range s.cl.Servers {
+		for _, r := range sv.FailAll(now) {
+			s.recordDrop(r, r.ArriveAt >= s.cfg.WarmupSec)
+		}
+	}
+	if until < s.cfg.Horizon {
+		s.eng.Schedule(until, func(float64) { s.breaker.Reset() })
+	}
+}
+
+// accountSlot integrates the energy ledger over [lastTick, now) using the
+// plan the scheme made at the previous tick.
+func (s *Simulation) accountSlot(now float64) {
+	dt := now - s.lastTick
+	if dt <= 0 {
+		return
+	}
+	total := s.cl.TotalEnergyJ()
+	draw := (total - s.lastEnergyJ) / dt
+	s.lastEnergyJ = total
+	s.lastTick = now
+	s.cl.AccountSlot(dt, draw, s.prevRep.BatteryW, s.prevRep.ChargeW)
+}
+
+func (s *Simulation) sample(now float64) {
+	s.res.Power.Add(now, s.cl.PowerNow())
+	s.res.Battery.Add(now, s.cl.UPS.SoC())
+	s.res.VFRed.Add(now, s.cl.MeanVFReduction())
+	s.res.Freq.Add(now, float64(s.cl.MeanFreq()))
+	if s.cfg.RecordPerServer {
+		if s.res.PerServerPower == nil {
+			s.res.PerServerPower = make([]stats.Series, len(s.cl.Servers))
+		}
+		for i, sv := range s.cl.Servers {
+			s.res.PerServerPower[i].Add(now, sv.PowerNow())
+		}
+	}
+}
+
+func (s *Simulation) recordCompletion(req *workload.Request) {
+	rt := req.ResponseTime()
+	if req.ArriveAt < s.cfg.WarmupSec {
+		return
+	}
+	if req.Origin == workload.Legit {
+		s.res.CompletedLegit++
+		s.res.LatencyLegit.Add(rt)
+	} else {
+		s.res.CompletedAtk++
+		s.res.LatencyAttack.Add(rt)
+		if s.dope != nil && req.Source >= dopeSourceBase && req.Demand > 0 {
+			s.epochSlow.Add(rt / req.Demand)
+		}
+	}
+	byClass := s.res.LatencyByClass[req.Class]
+	if byClass == nil {
+		byClass = &stats.Sample{}
+		s.res.LatencyByClass[req.Class] = byClass
+	}
+	byClass.Add(rt)
+}
+
+func (s *Simulation) recordDrop(req *workload.Request, measured bool) {
+	if !measured {
+		return
+	}
+	reason := req.DropReason
+	if reason == "" {
+		reason = "unknown"
+	}
+	s.res.DroppedByReason[reason]++
+	if req.Origin == workload.Legit {
+		s.res.DroppedLegit++
+		s.res.LegitDroppedByReason[reason]++
+	} else {
+		s.res.DroppedAttack++
+	}
+}
+
+// finish advances everything to the horizon and assembles the result.
+func (s *Simulation) finish() {
+	for _, sv := range s.cl.Servers {
+		for _, done := range sv.Advance(s.cfg.Horizon) {
+			s.recordCompletion(done)
+		}
+	}
+	s.accountSlot(s.cfg.Horizon)
+	s.sample(s.cfg.Horizon)
+
+	s.res.UtilityEnergyJ = s.cl.UtilityJ()
+	s.res.BatteryEnergyJ = s.cl.BatteryJ()
+	s.res.TotalEnergyJ = s.cl.TotalEnergyJ()
+	s.res.OverBudgetJ = s.cl.OverBudgetJ()
+	s.res.BatteryCycles = s.cl.UPS.Cycles()
+	s.res.SuspectRouted = s.bal.RoutedSuspect()
+	if s.slots > 0 {
+		s.res.FracSlotsOverBudget = float64(s.slotsOver) / float64(s.slots)
+	}
+	if tok, ok := s.scheme.(*defense.Token); ok {
+		s.res.TokenDropFrac = tok.DropFraction()
+	}
+	if s.plant != nil {
+		s.res.ThermalThrottleEvents = s.plant.ThrottleEvents()
+		if s.slots > 0 {
+			s.res.FracSlotsThermal = float64(s.thermalHot) / float64(s.slots)
+		}
+	}
+}
+
+// Cluster exposes the underlying cluster for white-box experiments (e.g.
+// forcing a battery state before the attack lands).
+func (s *Simulation) Cluster() *cluster.Cluster { return s.cl }
+
+// Firewall exposes the perimeter defense for white-box experiments.
+func (s *Simulation) Firewall() *firewall.Firewall { return s.fw }
+
+// RunOnce is the package-level convenience: assemble and run in one call.
+func RunOnce(cfg Config) (*Result, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(), nil
+}
+
+// Ladder returns the configuration's frequency ladder, the argument every
+// scheme constructor wants.
+func Ladder(cfg Config) power.Ladder { return cfg.Cluster.Model.Ladder }

@@ -1,0 +1,28 @@
+package defense_test
+
+import (
+	"fmt"
+
+	"antidope/internal/defense"
+	"antidope/internal/power"
+)
+
+// ExampleByName shows scheme construction from Table 2 names.
+func ExampleByName() {
+	ladder := power.DefaultLadder()
+	for _, name := range []string{"capping", "shaving", "token", "anti-dope", "oracle", "hybrid"} {
+		s, err := defense.ByName(name, ladder)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// Capping
+	// Shaving
+	// Token
+	// Anti-DOPE
+	// Oracle
+	// Hybrid
+}

@@ -1,0 +1,42 @@
+package defense
+
+import (
+	"fmt"
+	"strings"
+
+	"antidope/internal/power"
+)
+
+// ByName constructs a scheme from its Table 2 name (case-insensitive;
+// "anti-dope"/"antidope" both resolve). The experiment CLIs use this.
+func ByName(name string, ladder power.Ladder) (Scheme, error) {
+	switch strings.ToLower(strings.ReplaceAll(name, "-", "")) {
+	case "none":
+		return NewNone(), nil
+	case "capping":
+		return NewCapping(ladder), nil
+	case "shaving":
+		return NewShaving(ladder), nil
+	case "token":
+		return NewToken(), nil
+	case "antidope":
+		return NewAntiDope(ladder), nil
+	case "oracle":
+		return NewOracle(ladder), nil
+	case "hybrid":
+		return NewHybrid(ladder), nil
+	default:
+		return nil, fmt.Errorf("defense: unknown scheme %q (want none, capping, shaving, token, anti-dope, oracle, hybrid)", name)
+	}
+}
+
+// Evaluated returns fresh instances of the four Table 2 schemes, in the
+// order the paper's figures present them.
+func Evaluated(ladder power.Ladder) []Scheme {
+	return []Scheme{
+		NewCapping(ladder),
+		NewShaving(ladder),
+		NewToken(),
+		NewAntiDope(ladder),
+	}
+}

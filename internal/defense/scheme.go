@@ -1,0 +1,94 @@
+// Package defense implements the four power-management schemes the paper
+// evaluates (Table 2):
+//
+//	Capping   — DVFS-only peak capping, the conventional baseline;
+//	Shaving   — UPS-based peak shaving that throttles only when the
+//	            battery runs dry (the state-of-the-art baseline);
+//	Token     — a power-based token bucket at the NLB that drops traffic
+//	            to stay under budget;
+//	Anti-DOPE — the paper's proposal: power-driven forwarding (PDF) at the
+//	            NLB plus request-aware power management (RPM, Algorithm 1)
+//	            on the server side.
+//
+// All schemes act through the same two hooks: a per-request admission
+// decision at the balancer and a per-slot control decision over the
+// cluster's frequency ladder and battery.
+package defense
+
+import (
+	"sort"
+
+	"antidope/internal/cluster"
+	"antidope/internal/netlb"
+	"antidope/internal/power"
+	"antidope/internal/server"
+	"antidope/internal/workload"
+)
+
+// Env is the view of the data center a scheme operates on.
+type Env struct {
+	Cluster  *cluster.Cluster
+	Balancer *netlb.Balancer
+	// SlotSec is the control period.
+	SlotSec float64
+	// Model is the (homogeneous) server power model, for planning.
+	Model power.Model
+}
+
+// SlotReport tells the simulation how the scheme used the energy storage
+// during the slot it just planned.
+type SlotReport struct {
+	// BatteryW is the average power drawn from the UPS over the slot.
+	BatteryW float64
+	// ChargeW is the average utility power spent recharging over the slot.
+	ChargeW float64
+}
+
+// Scheme is one peak-power-management policy.
+type Scheme interface {
+	// Name returns the Table 2 name.
+	Name() string
+	// Setup runs once before the simulation starts (install suspect lists,
+	// partition servers, size token buckets).
+	Setup(env *Env)
+	// Admit decides at the balancer whether the request enters the system.
+	// Refusals must mark the request dropped.
+	Admit(now float64, req *workload.Request) bool
+	// ControlSlot runs at every control tick, after all servers have been
+	// advanced to now. It may retune frequencies and use the battery.
+	ControlSlot(now float64, env *Env) SlotReport
+}
+
+// serversByPowerDesc returns the servers ordered by instantaneous draw,
+// hungriest first — the victim order shared by the throttling schemes.
+func serversByPowerDesc(ss []*server.Server) []power.Capper {
+	ordered := append([]*server.Server(nil), ss...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].PowerNow() > ordered[j].PowerNow()
+	})
+	out := make([]power.Capper, len(ordered))
+	for i, s := range ordered {
+		out[i] = s
+	}
+	return out
+}
+
+// serversByFreqAsc returns servers ordered by frequency, slowest first —
+// the release order (restore the most-throttled first).
+func serversByFreqAsc(ss []*server.Server) []power.Capper {
+	ordered := append([]*server.Server(nil), ss...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Freq() < ordered[j].Freq()
+	})
+	out := make([]power.Capper, len(ordered))
+	for i, s := range ordered {
+		out[i] = s
+	}
+	return out
+}
+
+// predict is the planning callback shared by all schemes: a server's draw
+// if capped to f with its current mix.
+func predict(c power.Capper, f power.GHz) power.Watts {
+	return c.(*server.Server).PowerAt(f)
+}

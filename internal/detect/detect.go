@@ -1,0 +1,166 @@
+// Package detect implements power-telemetry anomaly detectors. The paper's
+// core observation (Section 3.2, Figure 11) is that DOPE is invisible to
+// traffic-side monitoring — but it is, by construction, visible on the
+// power side. This package provides the standard online detectors a power
+// monitor would run (static threshold, EWMA residual, CUSUM drift) so the
+// repository can quantify the detection latency of each against the attack
+// families, and so operators can pair Anti-DOPE's mitigation with alerting.
+//
+// All detectors consume one sample per control slot and report the first
+// slot at which they alarm. They are deliberately one-pass and O(1) per
+// sample: the power monitor runs at line rate.
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Detector consumes a power sample per tick and reports alarms.
+type Detector interface {
+	// Name identifies the detector in result tables.
+	Name() string
+	// Observe folds one sample (watts) and returns true when alarming.
+	Observe(t, watts float64) bool
+	// Reset clears internal state for reuse.
+	Reset()
+}
+
+// Threshold alarms when power exceeds a fixed line for LingerSec.
+// It is the power-side analog of the firewall's rate rule: simple,
+// predictable, and blind to slow drifts under the line.
+type Threshold struct {
+	LimitW    float64
+	LingerSec float64
+
+	overSince float64
+	armed     bool
+}
+
+// NewThreshold builds the detector; linger smooths transient spikes.
+func NewThreshold(limitW, lingerSec float64) *Threshold {
+	if limitW <= 0 || lingerSec < 0 {
+		panic(fmt.Sprintf("detect: threshold %g/%g", limitW, lingerSec))
+	}
+	return &Threshold{LimitW: limitW, LingerSec: lingerSec}
+}
+
+// Name implements Detector.
+func (d *Threshold) Name() string { return "threshold" }
+
+// Observe implements Detector.
+func (d *Threshold) Observe(t, watts float64) bool {
+	if watts <= d.LimitW {
+		d.armed = false
+		return false
+	}
+	if !d.armed {
+		d.armed = true
+		d.overSince = t
+	}
+	return t-d.overSince >= d.LingerSec
+}
+
+// Reset implements Detector.
+func (d *Threshold) Reset() { d.armed = false }
+
+// EWMA alarms when the sample deviates from an exponentially weighted
+// moving baseline by more than K adaptive standard deviations. It adapts to
+// diurnal drift but a slow-enough attacker can ride the adaptation.
+type EWMA struct {
+	// Alpha is the baseline update weight per sample.
+	Alpha float64
+	// K is the alarm width in standard deviations.
+	K float64
+	// WarmSamples before any alarm can fire.
+	WarmSamples int
+
+	mean, variance float64
+	n              int
+}
+
+// NewEWMA builds the detector with the monitor's defaults.
+func NewEWMA() *EWMA { return &EWMA{Alpha: 0.05, K: 4, WarmSamples: 30} }
+
+// Name implements Detector.
+func (d *EWMA) Name() string { return "ewma" }
+
+// Observe implements Detector.
+func (d *EWMA) Observe(t, watts float64) bool {
+	d.n++
+	if d.n == 1 {
+		d.mean = watts
+		d.variance = 1
+		return false
+	}
+	dev := watts - d.mean
+	alarm := false
+	if d.n > d.WarmSamples {
+		sd := math.Sqrt(d.variance)
+		if sd < 1 {
+			sd = 1 // floor: a flat baseline should not alarm on 1 W of noise
+		}
+		alarm = math.Abs(dev) > d.K*sd
+	}
+	// Adapt after the test so a step change is caught before the baseline
+	// absorbs it. Alarmed samples still adapt (a real monitor would keep
+	// tracking, and an attacker exploiting that is exactly the slow-drift
+	// weakness the experiment quantifies).
+	d.mean += d.Alpha * dev
+	d.variance = (1-d.Alpha)*d.variance + d.Alpha*dev*dev
+	return alarm
+}
+
+// Reset implements Detector.
+func (d *EWMA) Reset() { d.mean, d.variance, d.n = 0, 0, 0 }
+
+// CUSUM accumulates positive drift above a reference level and alarms when
+// the cumulative sum crosses a decision threshold — the standard choice for
+// detecting small persistent shifts, which is precisely DOPE's signature.
+type CUSUM struct {
+	// RefW is the in-control power level; Slack the per-sample allowance;
+	// DecisionJ the cumulative excess (watt-samples) that alarms.
+	RefW      float64
+	SlackW    float64
+	DecisionJ float64
+
+	sum float64
+}
+
+// NewCUSUM builds the detector around an expected operating level.
+func NewCUSUM(refW, slackW, decisionJ float64) *CUSUM {
+	if decisionJ <= 0 {
+		panic("detect: non-positive CUSUM decision threshold")
+	}
+	return &CUSUM{RefW: refW, SlackW: slackW, DecisionJ: decisionJ}
+}
+
+// Name implements Detector.
+func (d *CUSUM) Name() string { return "cusum" }
+
+// Observe implements Detector.
+func (d *CUSUM) Observe(t, watts float64) bool {
+	d.sum += watts - d.RefW - d.SlackW
+	if d.sum < 0 {
+		d.sum = 0
+	}
+	return d.sum >= d.DecisionJ
+}
+
+// Reset implements Detector.
+func (d *CUSUM) Reset() { d.sum = 0 }
+
+// FirstAlarm replays a power series (t, watts pairs) through the detector
+// and returns the first alarm time, or ok=false if it never fires.
+func FirstAlarm(d Detector, ts, ws []float64) (float64, bool) {
+	if len(ts) != len(ws) {
+		panic("detect: mismatched series")
+	}
+	d.Reset()
+	for i := range ts {
+		if d.Observe(ts[i], ws[i]) {
+			return ts[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,198 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"antidope/internal/rng"
+)
+
+// series builds (ts, ws) with base power plus a step of height at stepT.
+func series(n int, base, height, stepT float64, noise float64, seed uint64) (ts, ws []float64) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		w := base + noise*r.NormFloat64()
+		if t >= stepT {
+			w += height
+		}
+		ts = append(ts, t)
+		ws = append(ws, w)
+	}
+	return
+}
+
+func TestThresholdDetectsSustainedExcess(t *testing.T) {
+	d := NewThreshold(300, 5)
+	ts, ws := series(100, 250, 100, 40, 0, 1)
+	at, ok := FirstAlarm(d, ts, ws)
+	if !ok {
+		t.Fatal("sustained excess never alarmed")
+	}
+	if math.Abs(at-45) > 1.5 {
+		t.Fatalf("alarm at %g, want ~45 (step at 40 + linger 5)", at)
+	}
+}
+
+func TestThresholdIgnoresBlips(t *testing.T) {
+	d := NewThreshold(300, 5)
+	// One-sample spikes never linger long enough.
+	for i := 0; i < 200; i++ {
+		w := 250.0
+		if i%10 == 0 {
+			w = 400
+		}
+		if d.Observe(float64(i), w) {
+			t.Fatalf("alarmed on a blip at %d", i)
+		}
+	}
+}
+
+func TestThresholdMissesUnderLimit(t *testing.T) {
+	d := NewThreshold(340, 5)
+	ts, ws := series(600, 250, 80, 100, 0, 1) // lands at 330 < 340
+	if _, ok := FirstAlarm(d, ts, ws); ok {
+		t.Fatal("threshold alarmed under its limit — the DOPE blind spot should exist")
+	}
+}
+
+func TestThresholdPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad threshold accepted")
+		}
+	}()
+	NewThreshold(0, 1)
+}
+
+func TestEWMADetectsStep(t *testing.T) {
+	d := NewEWMA()
+	ts, ws := series(300, 250, 60, 120, 3, 2)
+	at, ok := FirstAlarm(d, ts, ws)
+	if !ok {
+		t.Fatal("EWMA never alarmed on a 20-sigma step")
+	}
+	if at < 120 || at > 130 {
+		t.Fatalf("alarm at %g, want shortly after the step at 120", at)
+	}
+}
+
+func TestEWMAQuietOnStationaryNoise(t *testing.T) {
+	d := NewEWMA()
+	ts, ws := series(2000, 250, 0, 1e9, 5, 3)
+	if at, ok := FirstAlarm(d, ts, ws); ok {
+		t.Fatalf("false alarm at %g on stationary noise", at)
+	}
+}
+
+func TestEWMAWarmupSuppresses(t *testing.T) {
+	d := NewEWMA()
+	// A step inside the warmup window must not alarm during warmup.
+	for i := 0; i < d.WarmSamples; i++ {
+		w := 200.0
+		if i > 5 {
+			w = 400
+		}
+		if d.Observe(float64(i), w) {
+			t.Fatalf("alarm during warmup at sample %d", i)
+		}
+	}
+}
+
+func TestEWMAAdaptsToSlowDrift(t *testing.T) {
+	// The known weakness: a drift much slower than the adaptation rate
+	// never alarms. This is a feature of the test (documents the gap), not
+	// a bug of the detector.
+	d := NewEWMA()
+	alarmed := false
+	for i := 0; i < 3000; i++ {
+		w := 250 + float64(i)*0.02 // +0.02 W per slot: 60 W over 3000 slots
+		if d.Observe(float64(i), w) {
+			alarmed = true
+			break
+		}
+	}
+	if alarmed {
+		t.Fatal("EWMA caught a drift 100x slower than its window — unexpected")
+	}
+}
+
+func TestCUSUMDetectsSmallPersistentShift(t *testing.T) {
+	// +15 W persistent shift, 5 W slack, decision 100 watt-samples:
+	// alarm ~10 samples after the step.
+	d := NewCUSUM(250, 5, 100)
+	ts, ws := series(200, 250, 15, 100, 0, 4)
+	at, ok := FirstAlarm(d, ts, ws)
+	if !ok {
+		t.Fatal("CUSUM missed a persistent shift")
+	}
+	if at < 105 || at > 115 {
+		t.Fatalf("alarm at %g, want ~110", at)
+	}
+}
+
+func TestCUSUMQuietUnderReference(t *testing.T) {
+	d := NewCUSUM(250, 5, 100)
+	ts, ws := series(1000, 248, 0, 1e9, 2, 5)
+	if at, ok := FirstAlarm(d, ts, ws); ok {
+		t.Fatalf("CUSUM false alarm at %g", at)
+	}
+}
+
+func TestCUSUMResetClearsSum(t *testing.T) {
+	d := NewCUSUM(100, 0, 50)
+	for i := 0; i < 4; i++ {
+		d.Observe(float64(i), 110)
+	}
+	d.Reset()
+	if d.Observe(5, 110) {
+		t.Fatal("alarm right after reset")
+	}
+}
+
+func TestCUSUMPanicsOnBadDecision(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad CUSUM accepted")
+		}
+	}()
+	NewCUSUM(1, 1, 0)
+}
+
+func TestCUSUMBeatsThresholdOnSubLimitShift(t *testing.T) {
+	// The DOPE sweet spot: a shift that stays under the static limit but
+	// accumulates. CUSUM must catch it; the threshold must not.
+	ts, ws := series(600, 250, 60, 100, 2, 6) // lands at 310
+	th := NewThreshold(340, 5)
+	if _, ok := FirstAlarm(th, ts, ws); ok {
+		t.Fatal("threshold should be blind here")
+	}
+	cs := NewCUSUM(255, 10, 300)
+	if _, ok := FirstAlarm(cs, ts, ws); !ok {
+		t.Fatal("CUSUM should catch the sub-limit shift")
+	}
+}
+
+func TestFirstAlarmMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	FirstAlarm(NewEWMA(), []float64{1}, nil)
+}
+
+func TestDetectorNames(t *testing.T) {
+	if NewThreshold(1, 0).Name() != "threshold" ||
+		NewEWMA().Name() != "ewma" ||
+		NewCUSUM(1, 0, 1).Name() != "cusum" {
+		t.Fatal("detector names")
+	}
+}
+
+func BenchmarkEWMA(b *testing.B) {
+	d := NewEWMA()
+	for i := 0; i < b.N; i++ {
+		d.Observe(float64(i), 250+float64(i%7))
+	}
+}

@@ -1,0 +1,30 @@
+package detect_test
+
+import (
+	"fmt"
+
+	"antidope/internal/detect"
+)
+
+// Example replays a budget-level power shift through two detectors: the
+// static threshold is blind to it, CUSUM accumulates the drift.
+func Example() {
+	var ts, ws []float64
+	for i := 0; i < 120; i++ {
+		w := 250.0
+		if i >= 60 {
+			w = 280 // +30 W persistent shift, still under a 340 W line
+		}
+		ts = append(ts, float64(i))
+		ws = append(ws, w)
+	}
+	if _, ok := detect.FirstAlarm(detect.NewThreshold(340, 5), ts, ws); !ok {
+		fmt.Println("threshold: never alarms")
+	}
+	if at, ok := detect.FirstAlarm(detect.NewCUSUM(250, 10, 300), ts, ws); ok {
+		fmt.Printf("cusum: alarms %v s after the shift\n", at-60)
+	}
+	// Output:
+	// threshold: never alarms
+	// cusum: alarms 14 s after the shift
+}

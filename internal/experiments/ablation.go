@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"antidope/internal/cluster"
+	"antidope/internal/defense"
+)
+
+// AblationResult dissects Anti-DOPE's design: each variant removes one
+// mechanism DESIGN.md calls out (PDF isolation, the battery transition
+// bridge, the suspect queue trim) and re-runs the Section 6 scenario at
+// Medium-PB. It quantifies where the headline improvement actually comes
+// from.
+type AblationResult struct {
+	Table *Table
+	// MeanRT / P90RT / Collateral per variant name.
+	MeanRT     map[string]float64
+	P90RT      map[string]float64
+	SlotsOver  map[string]float64
+	Availab    map[string]float64
+	Collateral map[string]uint64
+}
+
+// ablationVariants builds the scheme variants, full first.
+func ablationVariants() []struct {
+	name  string
+	build func() defense.Scheme
+} {
+	mk := func(mod func(*defense.AntiDope)) func() defense.Scheme {
+		return func() defense.Scheme {
+			a := defense.NewAntiDope(ladder())
+			mod(a)
+			return a
+		}
+	}
+	return []struct {
+		name  string
+		build func() defense.Scheme
+	}{
+		{"full", mk(func(*defense.AntiDope) {})},
+		{"-PDF (no isolation)", mk(func(a *defense.AntiDope) { a.DisablePDF = true })},
+		{"-battery bridge", mk(func(a *defense.AntiDope) { a.DisableBattery = true })},
+		{"-queue trim", mk(func(a *defense.AntiDope) { a.SuspectQueueFactor = 0 })},
+		{"-actuation delay", mk(func(a *defense.AntiDope) { a.ActuationDelaySlots = 0 })},
+		{"pool 50%", mk(func(a *defense.AntiDope) { a.SuspectPoolFrac = 0.5 })},
+		{"capping (ref)", func() defense.Scheme { return defense.NewCapping(ladder()) }},
+		{"oracle (bound)", func() defense.Scheme { return defense.NewOracle(ladder()) }},
+		{"+token on suspects", func() defense.Scheme { return defense.NewHybrid(ladder()) }},
+	}
+}
+
+// Ablation runs every variant against the steady three-class DOPE
+// injection at Medium-PB.
+func Ablation(o Options) *AblationResult {
+	horizon := o.horizon(300)
+	out := &AblationResult{
+		MeanRT:     make(map[string]float64),
+		P90RT:      make(map[string]float64),
+		SlotsOver:  make(map[string]float64),
+		Availab:    make(map[string]float64),
+		Collateral: make(map[string]uint64),
+	}
+	out.Table = &Table{
+		Title: "Ablation: Anti-DOPE with each design element removed (Medium-PB, DOPE mix)",
+		Header: []string{"variant", "meanRT(ms)", "p90(ms)", "avail",
+			"slotsOver", "collateral slots"},
+	}
+	for _, v := range ablationVariants() {
+		scheme := v.build()
+		res := runEval(o, "ablation/"+v.name, scheme, cluster.MediumPB,
+			evalAttackSpecs(10, horizon), horizon)
+		out.MeanRT[v.name] = res.MeanRT()
+		out.P90RT[v.name] = res.TailRT(90)
+		out.SlotsOver[v.name] = res.FracSlotsOverBudget
+		out.Availab[v.name] = res.Availability()
+		var collateral uint64
+		if ad, ok := scheme.(*defense.AntiDope); ok {
+			collateral = ad.CollateralSlots()
+		}
+		out.Collateral[v.name] = collateral
+		out.Table.AddRow(v.name, ms(res.MeanRT()), ms(res.TailRT(90)),
+			f3(res.Availability()), pct(res.FracSlotsOverBudget), itoa(collateral))
+	}
+	out.Table.Notes = append(out.Table.Notes,
+		"PDF isolation is the load-bearing element: removing it collapses the",
+		"variant to battery-bridged capping. The queue trim shields the mean",
+		"from collateral on suspect nodes; battery/delay shape power",
+		"transients, not steady-state latency.")
+	return out
+}
+
+// PDFIsTheLever reports whether removing PDF degrades the p90 more than
+// removing any other single element — the ablation's main finding.
+func (r *AblationResult) PDFIsTheLever() bool {
+	noPDF := r.P90RT["-PDF (no isolation)"]
+	for _, other := range []string{"-battery bridge", "-queue trim", "-actuation delay"} {
+		if r.P90RT[other] >= noPDF {
+			return false
+		}
+	}
+	return noPDF > r.P90RT["full"]
+}
+
+// FullHoldsBudget reports whether the complete framework keeps residual
+// violations rare.
+func (r *AblationResult) FullHoldsBudget() bool {
+	return r.SlotsOver["full"] <= 0.1
+}

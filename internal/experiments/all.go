@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// All runs every figure's experiment and prints the tables in paper order.
+// This is what cmd/paperbench executes and what EXPERIMENTS.md records.
+func All(o Options, w io.Writer) {
+	fmt.Fprintln(w, "# Anti-DOPE reproduction — full experiment suite")
+	fmt.Fprintf(w, "# options: seed=%d quick=%v\n\n", o.Seed, o.Quick)
+
+	fig3 := Fig3(o)
+	fig3.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: application-layer floods top the power ranking: %v\n\n", fig3.AppLayerTops())
+
+	fig4 := Fig4(o)
+	fig4.TableA.Fprint(w)
+	fig4.TableB.Fprint(w)
+	fmt.Fprintf(w, "  check: power monotone in rate: %v; variance shrinks with rate: %v\n\n",
+		fig4.MonotoneInRate(2), fig4.VarianceShrinksWithRate())
+
+	fig5 := Fig5(o)
+	fig5.TableA.Fprint(w)
+	fig5.TableB.Fprint(w)
+	fmt.Fprintf(w, "  check: Colla-Filt rightmost CDF: %v; K-means costliest/request: %v; volume flood cheapest: %v\n\n",
+		fig5.CollaFiltRightmost(), fig5.KMeansCostliestPerRequest(), fig5.VolumeFloodCheapest())
+
+	fig6 := Fig6(o)
+	fig6.TableA.Fprint(w)
+	fig6.TableB.Fprint(w)
+	fmt.Fprintf(w, "  check: heavy classes trip DVFS first: %v; K-means needs deepest cut: %v\n\n",
+		fig6.HeavyClassesTripFirst(0.01), fig6.KMeansDeepestCut())
+
+	fig7 := Fig7(o)
+	fig7.Table.Fprint(w)
+	mb, pb := fig7.BlowupPastKnee()
+	fmt.Fprintf(w, "  check: blowup past knee mean=%.1fx p90=%.1fx (paper: 7.4x / 8.9x)\n\n", mb, pb)
+
+	fig8 := Fig8(o)
+	fig8.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: Colla-Filt/K-means degrade most: %v\n\n", fig8.HeavyTypesDegradeMost())
+
+	fig9 := Fig9(o)
+	fig9.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: availability degrades with shrinking budget: %v\n\n",
+		fig9.AvailabilityDegradesWithBudget())
+
+	fig10 := Fig10(o)
+	fig10.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: firewall cuts median power: %v; detection lag leaves spikes: %v\n\n",
+		fig10.FirewallCutsMedianPower(), fig10.LagLeavesSpikes())
+
+	fig11 := Fig11(o)
+	fig11.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: DOPE region exists: %v\n\n", fig11.RegionExists())
+
+	fig12 := Fig12(o)
+	fig12.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: attacker ends effective and undetected: %v (over-budget %.1f kJ)\n\n",
+		fig12.FinalUndetected, fig12.BudgetViolatedJ/1e3)
+
+	fig15 := Fig15(o)
+	fig15.TableA.Fprint(w)
+	fig15.TableB.Fprint(w)
+	fmt.Fprintf(w, "  check: power held under budget: %v; only slight legit degradation: %v\n\n",
+		fig15.PowerHeld(), fig15.SlightDegradationOnly())
+
+	grid := RunEvalGrid(o)
+	grid.Fig16().Fprint(w)
+	grid.Fig17().Fprint(w)
+	grid.Fig19().Fprint(w)
+	meanImpr, p90Impr, headline := grid.Headline()
+	headline.Fprint(w)
+	fmt.Fprintf(w, "  check: Anti-DOPE improves mean RT by %s and p90 by %s (paper: 44%% / 68.1%%)\n\n",
+		pct(meanImpr), pct(p90Impr))
+
+	fig18 := Fig18(o)
+	fig18.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: Shaving drains deepest: %v; Anti-DOPE keeps reserve: %v\n\n",
+		fig18.ShavingDrainsDeepest(), fig18.AntiDopeKeepsReserve())
+
+	// Beyond the paper's figures: the ablation of Anti-DOPE's design
+	// elements and the outage consequence of an unmitigated DOPE attack.
+	abl := Ablation(o)
+	abl.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: PDF isolation is the dominant lever: %v\n\n", abl.PDFIsTheLever())
+
+	outage := Outage(o)
+	outage.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: only the undefended rack suffers outages: %v\n\n", outage.UndefendedTrips())
+
+	pulse := Pulse(o)
+	pulse.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: pulsing wears Shaving's battery: %v; Anti-DOPE tail stable: %v\n\n",
+		pulse.ShavingWearsBattery(), pulse.AntiDopeStableTail())
+
+	scale := Scale(o)
+	scale.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: vulnerability and remedy invariant across scale: %v\n\n", scale.InvariantAcrossScale())
+
+	capres := Capacity(o)
+	capres.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: Anti-DOPE preserves the most SLA-compliant capacity: %v\n\n",
+		capres.AntiDopePreservesMostCapacity())
+
+	det := Detection(o)
+	det.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: budget-level DOPE invisible to the static threshold but caught by CUSUM: %v\n\n",
+		det.CUSUMSeesDope())
+
+	rob := Robustness(o)
+	rob.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: Anti-DOPE wins on every seed: %v\n\n", rob.AlwaysWins())
+
+	therm := Thermal(o)
+	therm.Table.Fprint(w)
+	fmt.Fprintf(w, "  check: cooling attack exists and isolation contains it: %v / %v\n",
+		therm.ThermalThreatExists(), therm.IsolationKeepsCool())
+}

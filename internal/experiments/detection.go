@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antidope/internal/attack"
+	"antidope/internal/core"
+	"antidope/internal/detect"
+	"antidope/internal/workload"
+)
+
+// DetectionResult quantifies how fast power-telemetry detectors see each
+// attack family — the complement of Figure 11: DOPE is invisible to traffic
+// monitors, but the power plane can still raise an alarm, and how fast
+// depends on the detector. A static near-nameplate threshold is blind to
+// budget-level DOPE; CUSUM catches the small persistent shift.
+type DetectionResult struct {
+	Table *Table
+	// Delay[attack][detector] is seconds from attack start to alarm;
+	// negative means never alarmed.
+	Delay map[string]map[string]float64
+}
+
+// detectionAttacks are the scenarios replayed through the detectors.
+func detectionAttacks(start, horizon float64) map[string][]attack.Spec {
+	mk := func(class workload.Class, rps float64) []attack.Spec {
+		return []attack.Spec{{
+			Name: "det-" + class.String(), Layer: attack.ApplicationLayer,
+			Class: class, RateRPS: rps, Agents: 32,
+			Start: start, Duration: horizon - start,
+		}}
+	}
+	return map[string][]attack.Spec{
+		"Colla-Filt flood (400rps)": mk(workload.CollaFilt, 400),
+		"K-means DOPE (55rps)":      mk(workload.KMeans, 55),
+		"Volume flood (5000rps)": {{
+			Name: "det-vol", Layer: attack.NetworkLayer,
+			Class: workload.VolumeFlood, RateRPS: 5000, Agents: 64,
+			Start: start, Duration: horizon - start,
+		}},
+	}
+}
+
+// Detection runs each scenario undefended at Normal-PB (pure observation)
+// and replays the power series through the detectors.
+func Detection(o Options) *DetectionResult {
+	horizon := o.horizon(400)
+	const start = 60.0
+	out := &DetectionResult{Delay: make(map[string]map[string]float64)}
+	out.Table = &Table{
+		Title:  "Power-telemetry detection latency per attack (undefended rack)",
+		Header: []string{"attack", "threshold(s)", "ewma(s)", "cusum(s)"},
+	}
+
+	names := []string{"Colla-Filt flood (400rps)", "K-means DOPE (55rps)", "Volume flood (5000rps)"}
+	scenarios := detectionAttacks(start, horizon)
+	for _, name := range names {
+		cfg := baseConfig(o, "detect/"+name, horizon)
+		cfg.Attacks = scenarios[name]
+		res, err := core.RunOnce(cfg)
+		if err != nil {
+			panic(err)
+		}
+		var ts, ws []float64
+		var preMean float64
+		preN := 0
+		for _, p := range res.Power.Points {
+			ts = append(ts, p.T)
+			ws = append(ws, p.V)
+			if p.T < start {
+				preMean += p.V
+				preN++
+			}
+		}
+		if preN > 0 {
+			preMean /= float64(preN)
+		}
+
+		nameplate := res.NameplateW
+		detectors := []detect.Detector{
+			detect.NewThreshold(0.95*nameplate, 5),
+			detect.NewEWMA(),
+			detect.NewCUSUM(preMean, 10, 600),
+		}
+		out.Delay[name] = make(map[string]float64)
+		row := []string{name}
+		for _, d := range detectors {
+			at, ok := detect.FirstAlarm(d, ts, ws)
+			delay := -1.0
+			cell := "never"
+			if ok && at >= start {
+				delay = at - start
+				cell = fmt.Sprintf("%.0f", delay)
+			} else if ok {
+				cell = "false+"
+			}
+			out.Delay[name][d.Name()] = delay
+			row = append(row, cell)
+		}
+		out.Table.AddRow(row...)
+	}
+	out.Table.Notes = append(out.Table.Notes,
+		"the near-nameplate threshold only sees attacks that saturate the",
+		"rack; the budget-level DOPE shift needs a drift detector (CUSUM).",
+		"Power-side alerting complements Anti-DOPE's mitigation: the attack",
+		"is invisible in traffic but not in watts.")
+	return out
+}
+
+// CUSUMSeesDope reports whether CUSUM caught the budget-level DOPE scenario
+// that the static threshold missed.
+func (r *DetectionResult) CUSUMSeesDope() bool {
+	d := r.Delay["K-means DOPE (55rps)"]
+	if d == nil {
+		return false
+	}
+	return d["cusum"] >= 0 && d["threshold"] < 0
+}

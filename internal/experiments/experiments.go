@@ -1,0 +1,110 @@
+// Package experiments contains one runner per figure/table of the paper's
+// evaluation. Each runner assembles the right core.Config, executes the
+// runs, and returns a printable result whose rows/series mirror what the
+// paper plots. cmd/paperbench and the repository-root benchmarks are thin
+// wrappers over this package; EXPERIMENTS.md records paper-vs-measured for
+// every runner.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Options tunes how heavy the experiment runs are.
+type Options struct {
+	// Seed drives all randomness; runners derive per-run seeds from it.
+	Seed uint64
+	// Quick shrinks observation windows (~4x) so the full suite stays
+	// test-friendly; the shapes survive, the confidence intervals widen.
+	Quick bool
+}
+
+// DefaultOptions is the full-fidelity setting used for EXPERIMENTS.md.
+func DefaultOptions() Options { return Options{Seed: 2019} }
+
+// horizon picks the observation window, honouring Quick mode.
+func (o Options) horizon(full float64) float64 {
+	if o.Quick {
+		h := full / 4
+		if h < 30 {
+			h = 30
+		}
+		return h
+	}
+	return full
+}
+
+// seedFor derives a stable per-run seed from a label.
+func (o Options) seedFor(label string) uint64 {
+	h := o.Seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Table is a printable grid, the common shape of every figure's data.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the qualitative findings checked against the paper.
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// f1, f2, f3 format floats at fixed precision for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// ms renders seconds as milliseconds.
+func ms(sec float64) string { return fmt.Sprintf("%.1f", sec*1e3) }
+
+// pct renders a fraction as a percentage.
+func pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

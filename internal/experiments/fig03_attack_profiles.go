@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"sort"
+
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/core"
+	"antidope/internal/stats"
+)
+
+// Fig3Result reproduces Figure 3: the power profile of typical
+// cyber-attacks over a 600 s observation window. The paper's finding is
+// that application-layer attacks (HTTP/DNS flood) drive the highest power
+// band while volumetric and connection attacks stay low.
+type Fig3Result struct {
+	Table *Table
+	// Series holds each family's power trajectory (downsampled), keyed by
+	// attack name, for plotting.
+	Series map[string]stats.Series
+	// Ranking is the families ordered by mean power, highest first.
+	Ranking []string
+}
+
+// Fig3 runs every attack family of the catalog against the Section 3 rack
+// (Normal-PB, no firewall — raw power observation).
+func Fig3(o Options) *Fig3Result {
+	horizon := o.horizon(600)
+	out := &Fig3Result{
+		Table:  &Table{Title: "Figure 3: power profile of typical cyber-attacks"},
+		Series: make(map[string]stats.Series),
+	}
+	out.Table.Header = []string{"attack", "layer", "meanW", "peakW", "p95W", "band"}
+
+	type scored struct {
+		name string
+		mean float64
+	}
+	var scores []scored
+
+	for _, spec := range attack.Catalog() {
+		spec.Duration = horizon - 5
+		spec.Start = 5
+		cfg := baseConfig(o, "fig3/"+spec.Name, horizon)
+		cfg.Attacks = []attack.Spec{spec}
+		res, err := core.RunOnce(cfg)
+		if err != nil {
+			panic(err)
+		}
+		sum := res.Power.Summary()
+		out.Series[spec.Name] = res.Power.Downsample(60)
+		scores = append(scores, scored{spec.Name, sum.Mean()})
+		out.Table.AddRow(spec.Name, spec.Layer.String(),
+			f1(sum.Mean()), f1(sum.Max()), f1(res.Power.Sample().Percentile(95)),
+			bandOf(sum.Mean(), cluster.DefaultConfig()))
+	}
+
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].mean > scores[j].mean })
+	for _, s := range scores {
+		out.Ranking = append(out.Ranking, s.name)
+	}
+	out.Table.Notes = append(out.Table.Notes,
+		"paper: application-layer floods (HTTP/DNS) form the high power band;",
+		"volumetric floods (SYN/UDP/ICMP) the medium/low band; Slowloris lowest.")
+	return out
+}
+
+// bandOf classifies a mean draw into the paper's high/medium/low bands
+// relative to the rack's idle floor and nameplate.
+func bandOf(meanW float64, cfg cluster.Config) string {
+	idle := float64(cfg.Servers) * cfg.Model.Idle(cfg.Model.Ladder.Max)
+	nameplate := float64(cfg.Servers) * cfg.Model.Nameplate
+	frac := (meanW - idle) / (nameplate - idle)
+	switch {
+	case frac > 0.5:
+		return "high"
+	case frac > 0.2:
+		return "medium"
+	default:
+		return "low"
+	}
+}
+
+// AppLayerTops reports whether every application-layer service flood
+// (HTTP/DNS) out-draws every volumetric flood — the Figure 3 headline,
+// used by tests and EXPERIMENTS.md.
+func (r *Fig3Result) AppLayerTops() bool {
+	rank := map[string]int{}
+	for i, n := range r.Ranking {
+		rank[n] = i
+	}
+	for _, app := range []string{"HTTP-Flood", "DNS-Flood"} {
+		for _, vol := range []string{"SYN-Flood", "UDP-Flood", "ICMP-Flood", "Slowloris"} {
+			if rank[app] > rank[vol] {
+				return false
+			}
+		}
+	}
+	return true
+}

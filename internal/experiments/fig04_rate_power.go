@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antidope/internal/cluster"
+	"antidope/internal/stats"
+	"antidope/internal/workload"
+)
+
+// Fig4Result reproduces Figure 4: how traffic rate drives power.
+// (a) mean power vs request rate for each victim endpoint;
+// (b) the CDF of power samples at several traffic rates.
+type Fig4Result struct {
+	TableA *Table
+	TableB *Table
+	// MeanPower[class][rateIdx] backs TableA.
+	Rates     []float64
+	MeanPower map[workload.Class][]float64
+	// CDFs holds the per-rate power CDFs of (b) for the mixed flood.
+	CDFs map[float64]stats.CDF
+}
+
+// Fig4Rates is the sweep the runner uses.
+var Fig4Rates = []float64{10, 25, 50, 100, 200, 400, 700, 1000}
+
+// Fig4CDFRates are the rate levels whose power CDFs panel (b) plots.
+var Fig4CDFRates = []float64{10, 100, 1000}
+
+// Fig4 runs the sweep on the unprotected Normal-PB rack.
+func Fig4(o Options) *Fig4Result {
+	horizon := o.horizon(240)
+	rates := Fig4Rates
+	if o.Quick {
+		rates = []float64{10, 100, 400, 1000}
+	}
+	out := &Fig4Result{
+		Rates:     rates,
+		MeanPower: make(map[workload.Class][]float64),
+		CDFs:      make(map[float64]stats.CDF),
+	}
+
+	out.TableA = &Table{Title: "Figure 4-a: mean power (W) vs traffic rate per service"}
+	header := []string{"service"}
+	for _, r := range rates {
+		header = append(header, fmt.Sprintf("%grps", r))
+	}
+	out.TableA.Header = header
+
+	for _, class := range workload.VictimClasses() {
+		row := []string{class.String()}
+		for _, rate := range rates {
+			label := fmt.Sprintf("fig4a/%v/%g", class, rate)
+			res := runFlood(o, label, class, rate, cluster.NormalPB, nil, false, horizon)
+			mean := res.Power.Summary().Mean()
+			out.MeanPower[class] = append(out.MeanPower[class], mean)
+			row = append(row, f1(mean))
+		}
+		out.TableA.AddRow(row...)
+	}
+	out.TableA.Notes = append(out.TableA.Notes,
+		"paper: power rises monotonically with rate; Colla-Filt/K-means/Word-Count",
+		"reach high power already at low rates.")
+
+	out.TableB = &Table{
+		Title:  "Figure 4-b: power CDF at several traffic rates (equal mix of 4 services)",
+		Header: []string{"rate", "p10W", "p50W", "p90W", "p99W", "normalized p50"},
+	}
+	nameplate := 4 * cluster.DefaultConfig().Model.Nameplate
+	for _, rate := range Fig4CDFRates {
+		res := runMixedFlood(o, fmt.Sprintf("fig4b/%g", rate), rate, horizon)
+		sample := res.Power.Sample()
+		out.CDFs[rate] = sample.CDF(50)
+		out.TableB.AddRow(fmt.Sprintf("%g", rate),
+			f1(sample.Percentile(10)), f1(sample.Percentile(50)),
+			f1(sample.Percentile(90)), f1(sample.Percentile(99)),
+			f3(sample.Percentile(50)/nameplate))
+	}
+	out.TableB.Notes = append(out.TableB.Notes,
+		"paper: higher volume gives higher and lower-variance power (steeper CDF).")
+	return out
+}
+
+// MonotoneInRate reports whether each service's mean power is
+// non-decreasing in traffic rate (allowing a small tolerance for sampling
+// noise), the panel (a) headline.
+func (r *Fig4Result) MonotoneInRate(tolW float64) bool {
+	for _, series := range r.MeanPower {
+		for i := 1; i < len(series); i++ {
+			if series[i] < series[i-1]-tolW {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// VarianceShrinksWithRate reports whether the power IQR at the highest CDF
+// rate is tighter than at the lowest — the panel (b) headline.
+func (r *Fig4Result) VarianceShrinksWithRate() bool {
+	lo, okLo := r.CDFs[Fig4CDFRates[0]]
+	hi, okHi := r.CDFs[Fig4CDFRates[len(Fig4CDFRates)-1]]
+	if !okLo || !okHi {
+		return false
+	}
+	iqr := func(c stats.CDF) float64 { return c.Quantile(0.75) - c.Quantile(0.25) }
+	return iqr(hi) <= iqr(lo)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antidope/internal/cluster"
+	"antidope/internal/workload"
+)
+
+// Fig6Result reproduces Figure 6: the effect of HTTP DoS traffic on power
+// capping (DVFS) under Medium-PB.
+// (a) mean V/F reduction vs traffic rate per service — Colla-Filt trips
+// DVFS at the lowest rate;
+// (b) V/F reduction per service at 1000 req/s — K-means forces the deepest
+// cut because its power barely responds to frequency.
+type Fig6Result struct {
+	TableA *Table
+	TableB *Table
+	Rates  []float64
+	// VFReduction[class][rateIdx] is the time-mean fractional V/F cut.
+	VFReduction map[workload.Class][]float64
+	// At1000 is panel (b): the V/F cut per class at the top rate.
+	At1000 map[workload.Class]float64
+}
+
+// Fig6Rates is the sweep for panel (a).
+var Fig6Rates = []float64{25, 50, 100, 200, 400, 700, 1000}
+
+// Fig6 runs the sweep with the Capping scheme at Medium-PB.
+func Fig6(o Options) *Fig6Result {
+	horizon := o.horizon(240)
+	rates := Fig6Rates
+	if o.Quick {
+		rates = []float64{50, 200, 1000}
+	}
+	out := &Fig6Result{
+		Rates:       rates,
+		VFReduction: make(map[workload.Class][]float64),
+		At1000:      make(map[workload.Class]float64),
+	}
+	out.TableA = &Table{Title: "Figure 6-a: mean V/F reduction vs traffic rate (Medium-PB, Capping)"}
+	header := []string{"service"}
+	for _, r := range rates {
+		header = append(header, fmt.Sprintf("%grps", r))
+	}
+	out.TableA.Header = header
+
+	for _, class := range workload.VictimClasses() {
+		row := []string{class.String()}
+		for _, rate := range rates {
+			label := fmt.Sprintf("fig6/%v/%g", class, rate)
+			res := runFlood(o, label, class, rate, cluster.MediumPB,
+				schemeByName("capping"), false, horizon)
+			vf := res.VFRed.MeanOverTime()
+			out.VFReduction[class] = append(out.VFReduction[class], vf)
+			row = append(row, f3(vf))
+			if rate == rates[len(rates)-1] {
+				out.At1000[class] = vf
+			}
+		}
+		out.TableA.AddRow(row...)
+	}
+	out.TableA.Notes = append(out.TableA.Notes,
+		"paper: the heavy services incur V/F reduction already at low rates;",
+		"beyond a threshold the cut saturates at the level holding the budget.")
+
+	out.TableB = &Table{
+		Title:  "Figure 6-b: V/F reduction per service @1000 req/s",
+		Header: []string{"service", "mean V/F reduction"},
+	}
+	for _, class := range workload.VictimClasses() {
+		out.TableB.AddRow(class.String(), f3(out.At1000[class]))
+	}
+	out.TableB.Notes = append(out.TableB.Notes,
+		"paper: K-means induces the deepest V/F cut — its power is least",
+		"sensitive to frequency, so capping must dig further.")
+	return out
+}
+
+// TripRate returns the lowest swept rate at which the class's V/F reduction
+// exceeds the threshold, or +Inf-like sentinel (last rate + 1) if never.
+func (r *Fig6Result) TripRate(class workload.Class, threshold float64) float64 {
+	for i, vf := range r.VFReduction[class] {
+		if vf > threshold {
+			return r.Rates[i]
+		}
+	}
+	return r.Rates[len(r.Rates)-1] + 1
+}
+
+// HeavyClassesTripFirst reports whether the high-power-intensity services
+// (Colla-Filt, K-means) trigger DVFS at rates no higher than the light ones
+// (Word-Count, Text-Cont) — panel (a)'s headline. (The paper additionally
+// orders Colla-Filt marginally before K-means; in a linear power model that
+// ordering is the same quantity as Fig. 5-b's per-request energy, where
+// K-means must win, so the reproduction checks the heavy-vs-light split —
+// see EXPERIMENTS.md.)
+func (r *Fig6Result) HeavyClassesTripFirst(threshold float64) bool {
+	heavy := maxOf(r.TripRate(workload.CollaFilt, threshold),
+		r.TripRate(workload.KMeans, threshold))
+	light := minOf(r.TripRate(workload.WordCount, threshold),
+		r.TripRate(workload.TextCont, threshold))
+	return heavy <= light
+}
+
+// KMeansDeepestCut reports whether K-means forces the largest V/F
+// reduction at the top rate — panel (b)'s headline.
+func (r *Fig6Result) KMeansDeepestCut() bool {
+	km := r.At1000[workload.KMeans]
+	for class, vf := range r.At1000 {
+		if class != workload.KMeans && vf >= km {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antidope/internal/cluster"
+)
+
+// RobustnessResult replays the Medium-PB headline comparison across
+// independent seeds: the claim "Anti-DOPE beats blind capping on legitimate
+// latency" must not be an artifact of one random draw.
+type RobustnessResult struct {
+	Table *Table
+	// MeanImpr / P90Impr per seed: 1 - antidope/capping.
+	MeanImpr []float64
+	P90Impr  []float64
+}
+
+// Robustness runs the paired comparison for each derived seed.
+func Robustness(o Options) *RobustnessResult {
+	horizon := o.horizon(240)
+	seeds := 5
+	if o.Quick {
+		seeds = 3
+	}
+	out := &RobustnessResult{}
+	out.Table = &Table{
+		Title:  "Seed robustness: Anti-DOPE vs Capping at Medium-PB across independent runs",
+		Header: []string{"seed", "capping mean(ms)", "anti-dope mean(ms)", "mean impr.", "capping p90(ms)", "anti-dope p90(ms)", "p90 impr."},
+	}
+	for i := 0; i < seeds; i++ {
+		so := o
+		so.Seed = o.Seed + uint64(1000*(i+1))
+		cap := runEval(so, fmt.Sprintf("robust/cap/%d", i), schemeByName("capping"),
+			cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
+		ad := runEval(so, fmt.Sprintf("robust/ad/%d", i), schemeByName("anti-dope"),
+			cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
+		mi := 1 - ad.MeanRT()/cap.MeanRT()
+		pi := 1 - ad.TailRT(90)/cap.TailRT(90)
+		out.MeanImpr = append(out.MeanImpr, mi)
+		out.P90Impr = append(out.P90Impr, pi)
+		out.Table.AddRow(fmt.Sprintf("%d", so.Seed),
+			ms(cap.MeanRT()), ms(ad.MeanRT()), pct(mi),
+			ms(cap.TailRT(90)), ms(ad.TailRT(90)), pct(pi))
+	}
+	lo, hi := minMax(out.MeanImpr)
+	plo, phi := minMax(out.P90Impr)
+	out.Table.Notes = append(out.Table.Notes, fmt.Sprintf(
+		"mean improvement range [%s, %s]; p90 range [%s, %s] across %d seeds.",
+		pct(lo), pct(hi), pct(plo), pct(phi), seeds))
+	return out
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// AlwaysWins reports whether Anti-DOPE improved both metrics at every seed.
+func (r *RobustnessResult) AlwaysWins() bool {
+	if len(r.MeanImpr) == 0 {
+		return false
+	}
+	for i := range r.MeanImpr {
+		if r.MeanImpr[i] <= 0 || r.P90Impr[i] <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/core"
+	"antidope/internal/defense"
+	"antidope/internal/firewall"
+	"antidope/internal/netlb"
+	"antidope/internal/power"
+	"antidope/internal/workload"
+)
+
+// baseConfig is the shared scaled-down rack of Section 3: four 100 W
+// nodes, least-loaded balancing, light legitimate background traffic.
+func baseConfig(o Options, label string, horizon float64) core.Config {
+	cfg := core.Config{
+		Cluster:               cluster.DefaultConfig(),
+		Firewall:              firewall.Config{Disabled: true},
+		Policy:                netlb.LeastLoaded,
+		NormalRPS:             60,
+		NormalSources:         64,
+		Horizon:               horizon,
+		SlotSec:               1,
+		WarmupSec:             5,
+		DopeEpochSec:          10,
+		DopeEffectiveSlowdown: 3,
+		Seed:                  o.seedFor(label),
+	}
+	return cfg
+}
+
+// runFlood executes one victim-endpoint flood scenario.
+func runFlood(o Options, label string, class workload.Class, rate float64,
+	budget cluster.BudgetLevel, scheme defense.Scheme, fwOn bool, horizon float64) *core.Result {
+	cfg := baseConfig(o, label, horizon)
+	cfg.Cluster.Budget = budget
+	cfg.Scheme = scheme
+	if fwOn {
+		cfg.Firewall = firewall.DefaultConfig()
+	}
+	if rate > 0 {
+		agents := int(rate / 100)
+		if agents < 4 {
+			agents = 4
+		}
+		cfg.Attacks = []attack.Spec{{
+			Name:     label,
+			Layer:    attack.ApplicationLayer,
+			Class:    class,
+			RateRPS:  rate,
+			Agents:   agents,
+			Start:    cfg.WarmupSec,
+			Duration: horizon - cfg.WarmupSec,
+		}}
+	}
+	res, err := core.RunOnce(cfg)
+	if err != nil {
+		panic("experiments: " + label + ": " + err.Error())
+	}
+	return res
+}
+
+// runMixedFlood floods all four victim endpoints in equal shares at the
+// given total rate, on the unprotected Normal-PB rack.
+func runMixedFlood(o Options, label string, totalRate, horizon float64) *core.Result {
+	cfg := baseConfig(o, label, horizon)
+	perClass := totalRate / 4
+	agents := int(perClass / 100)
+	if agents < 4 {
+		agents = 4
+	}
+	for _, class := range workload.VictimClasses() {
+		cfg.Attacks = append(cfg.Attacks, attack.Spec{
+			Name:     label + "/" + class.String(),
+			Layer:    attack.ApplicationLayer,
+			Class:    class,
+			RateRPS:  perClass,
+			Agents:   agents,
+			Start:    cfg.WarmupSec,
+			Duration: horizon - cfg.WarmupSec,
+		})
+	}
+	res, err := core.RunOnce(cfg)
+	if err != nil {
+		panic("experiments: " + label + ": " + err.Error())
+	}
+	return res
+}
+
+// ladder is the shared frequency ladder for scheme construction.
+func ladder() power.Ladder { return power.DefaultLadder() }
+
+// schemeByName builds a fresh scheme instance.
+func schemeByName(name string) defense.Scheme {
+	s, err := defense.ByName(name, ladder())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// idleEnergyJ estimates the idle-floor energy of a run, for per-request
+// dynamic-energy accounting.
+func idleEnergyJ(res *core.Result, cfg cluster.Config, horizon float64) float64 {
+	return float64(cfg.Servers) * cfg.Model.Idle(cfg.Model.Ladder.Max) * horizon
+}

@@ -1,0 +1,21 @@
+package netlb_test
+
+import (
+	"fmt"
+
+	"antidope/internal/netlb"
+)
+
+// ExampleBuildSuspectList shows the offline power profiling of Section 5.2.
+func ExampleBuildSuspectList() {
+	// Endpoints demanding at least half the maximum per-request power:
+	for _, url := range netlb.BuildSuspectList(0.5) {
+		fmt.Println(url)
+	}
+	// And with the evaluation's 20% cutoff, Word-Count joins the list:
+	fmt.Println(len(netlb.BuildSuspectList(0.2)), "suspect endpoints at the 20% cutoff")
+	// Output:
+	// /classify
+	// /recommend
+	// 3 suspect endpoints at the 20% cutoff
+}

@@ -1,0 +1,108 @@
+package power
+
+import "fmt"
+
+// Component is one request type's contribution to a server's load at an
+// instant: the utilization share it occupies and its power character.
+type Component struct {
+	// Util is the fraction of server compute capacity occupied, in [0,1].
+	Util float64
+	// Weight scales the dynamic power this type draws at full frequency
+	// relative to the most power-hungry type (Colla-Filt = 1.0).
+	Weight float64
+	// Alpha is the frequency exponent of the dynamic power: compute-bound
+	// code tracks f^~2.4 (voltage scales with frequency), memory-bound code
+	// keeps DRAM and uncore busy regardless of core frequency, so its
+	// exponent is low — the reason K-means defeats shallow DVFS in Fig. 6-b.
+	Alpha float64
+}
+
+// Model converts a server's operating point (frequency + per-type load mix)
+// into watts. It is calibrated so an idle server draws IdleFrac·Nameplate at
+// full frequency and a saturated run of the heaviest type reaches Nameplate.
+type Model struct {
+	// Nameplate is the server's rated peak draw (the paper's node: 100 W).
+	Nameplate Watts
+	// IdleFrac is the fraction of nameplate drawn idle at f_max. Typical
+	// servers idle at 40-50% of peak; the paper's availability math assumes
+	// a non-trivial idle floor.
+	IdleFrac float64
+	// IdleFreqSlope is how much of the idle power scales with frequency
+	// (static leakage vs. clock tree). 0 = flat idle, 1 = fully scaling.
+	IdleFreqSlope float64
+	// Ladder is the frequency range the model is calibrated over.
+	Ladder Ladder
+}
+
+// DefaultModel returns the calibration used throughout the reproduction:
+// 100 W nameplate, 45 % idle floor, 40 % of idle power frequency-sensitive.
+func DefaultModel() Model {
+	return Model{Nameplate: 100, IdleFrac: 0.45, IdleFreqSlope: 0.4, Ladder: DefaultLadder()}
+}
+
+// Validate reports whether the model parameters are physically sensible.
+func (m Model) Validate() error {
+	if m.Nameplate <= 0 {
+		return fmt.Errorf("power: nameplate %v must be positive", m.Nameplate)
+	}
+	if m.IdleFrac < 0 || m.IdleFrac >= 1 {
+		return fmt.Errorf("power: idle fraction %v out of [0,1)", m.IdleFrac)
+	}
+	if m.IdleFreqSlope < 0 || m.IdleFreqSlope > 1 {
+		return fmt.Errorf("power: idle frequency slope %v out of [0,1]", m.IdleFreqSlope)
+	}
+	return m.Ladder.Validate()
+}
+
+// Idle returns the power an empty server draws at frequency f.
+func (m Model) Idle(f GHz) Watts {
+	rel := m.Ladder.Rel(m.Ladder.Clamp(f))
+	idle := m.IdleFrac * m.Nameplate
+	return idle * ((1 - m.IdleFreqSlope) + m.IdleFreqSlope*rel)
+}
+
+// Dynamic returns the dynamic power budget: the headroom between idle at
+// f_max and nameplate, consumed proportionally by load components.
+func (m Model) Dynamic() Watts { return m.Nameplate * (1 - m.IdleFrac) }
+
+// Power returns total server draw for the given frequency and load mix.
+// Component utilizations may sum to at most 1; the caller (the server's
+// processor-sharing queue) guarantees that.
+func (m Model) Power(f GHz, mix []Component) Watts {
+	f = m.Ladder.Clamp(f)
+	rel := m.Ladder.Rel(f)
+	p := m.Idle(f)
+	dyn := m.Dynamic()
+	for _, c := range mix {
+		if c.Util <= 0 {
+			continue
+		}
+		u := c.Util
+		if u > 1 {
+			u = 1
+		}
+		p += u * c.Weight * dyn * pow(rel, c.Alpha)
+	}
+	if p > m.Nameplate {
+		// The mix can momentarily overshoot when several high-weight types
+		// saturate together; physical servers clip at their PSU rating.
+		p = m.Nameplate
+	}
+	return p
+}
+
+// pow is a positive-base power function; math.Pow is correct but this keeps
+// the hot path free of special-case branching for the common exponents.
+func pow(base, exp float64) float64 {
+	switch exp {
+	case 0:
+		return 1
+	case 1:
+		return base
+	case 2:
+		return base * base
+	case 3:
+		return base * base * base
+	}
+	return powGeneric(base, exp)
+}

@@ -1,0 +1,27 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"antidope/internal/queueing"
+)
+
+// Example shows the closed-form results the simulator is validated against.
+func Example() {
+	// A processor-sharing server with 20 ms requests at 70% load:
+	ps := queueing.MG1PS{Lambda: 35, MeanService: 0.020}
+	fmt.Printf("M/G/1-PS at rho=%.2f: mean sojourn %.1f ms\n",
+		ps.Rho(), 1e3*ps.MeanSojourn())
+
+	// The same load on a 4-core station:
+	fmt.Printf("M/G/4-PS approx: %.1f ms\n",
+		1e3*queueing.PSMulticoreApprox(0.7*4/0.020, 0.020, 4))
+
+	// Capacity planning: how many req/s keep the mean under 50 ms?
+	fmt.Printf("capacity at 50 ms target: %.0f req/s\n",
+		queueing.MDCapacity(0.020, 0.050))
+	// Output:
+	// M/G/1-PS at rho=0.70: mean sojourn 66.7 ms
+	// M/G/4-PS approx: 27.1 ms
+	// capacity at 50 ms target: 30 req/s
+}

@@ -1,0 +1,174 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMG1PSBasics(t *testing.T) {
+	q := MG1PS{Lambda: 5, MeanService: 0.1} // rho = 0.5
+	if !almost(q.Rho(), 0.5, 1e-12) || !q.Stable() {
+		t.Fatalf("rho %g", q.Rho())
+	}
+	if got := q.MeanSojourn(); !almost(got, 0.2, 1e-12) {
+		t.Fatalf("sojourn %g, want 0.2", got)
+	}
+	if got := q.MeanInSystem(); !almost(got, 1, 1e-12) {
+		t.Fatalf("E[N] %g, want 1", got)
+	}
+	// Little's law self-consistency: E[N] = lambda E[T].
+	if !almost(q.MeanInSystem(), q.Lambda*q.MeanSojourn(), 1e-12) {
+		t.Fatal("Little's law violated")
+	}
+}
+
+func TestMG1PSConditional(t *testing.T) {
+	q := MG1PS{Lambda: 8, MeanService: 0.1} // rho 0.8
+	if got := q.ConditionalSojourn(0.05); !almost(got, 0.25, 1e-12) {
+		t.Fatalf("conditional sojourn %g", got)
+	}
+}
+
+func TestMG1PSUnstable(t *testing.T) {
+	q := MG1PS{Lambda: 20, MeanService: 0.1}
+	if q.Stable() {
+		t.Fatal("rho=2 stable")
+	}
+	if !math.IsInf(q.MeanSojourn(), 1) || !math.IsInf(q.MeanInSystem(), 1) ||
+		!math.IsInf(q.ConditionalSojourn(1), 1) {
+		t.Fatal("unstable station has finite metrics")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classical tabulated case: c=5, offered load a=3 (rho=0.6):
+	// Erlang-C = 0.23615 (standard tables).
+	q := MMc{Lambda: 3, Mu: 1, C: 5}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.ErlangC(); !almost(got, 0.23615, 2e-4) {
+		t.Fatalf("ErlangC %g, want ~0.23615", got)
+	}
+	// c=1 reduces to rho.
+	single := MMc{Lambda: 0.7, Mu: 1, C: 1}
+	if got := single.ErlangC(); !almost(got, 0.7, 1e-12) {
+		t.Fatalf("c=1 ErlangC %g, want rho", got)
+	}
+}
+
+func TestMMcWaitAndSojourn(t *testing.T) {
+	// M/M/1 sanity: W = rho/(mu-lambda), T = 1/(mu-lambda).
+	q := MMc{Lambda: 0.5, Mu: 1, C: 1}
+	if got := q.MeanWait(); !almost(got, 1, 1e-9) {
+		t.Fatalf("M/M/1 wait %g, want 1", got)
+	}
+	if got := q.MeanSojourn(); !almost(got, 2, 1e-9) {
+		t.Fatalf("M/M/1 sojourn %g, want 2", got)
+	}
+}
+
+func TestMMcUnstable(t *testing.T) {
+	q := MMc{Lambda: 10, Mu: 1, C: 2}
+	if q.Stable() {
+		t.Fatal("overloaded station stable")
+	}
+	if q.ErlangC() != 1 || !math.IsInf(q.MeanWait(), 1) {
+		t.Fatal("unstable metrics")
+	}
+}
+
+func TestMMcValidate(t *testing.T) {
+	bad := []MMc{{Lambda: -1, Mu: 1, C: 1}, {Lambda: 1, Mu: 0, C: 1}, {Lambda: 1, Mu: 1, C: 0}}
+	for _, q := range bad {
+		if q.Validate() == nil {
+			t.Fatalf("bad %+v validated", q)
+		}
+	}
+}
+
+func TestMDCapacityInvertsSojourn(t *testing.T) {
+	meanS := 0.02
+	target := 0.05
+	lambda := MDCapacity(meanS, target)
+	q := MG1PS{Lambda: lambda, MeanService: meanS}
+	if got := q.MeanSojourn(); !almost(got, target, 1e-9) {
+		t.Fatalf("capacity inversion broke: sojourn %g, want %g", got, target)
+	}
+	if MDCapacity(0.1, 0.05) != 0 {
+		t.Fatal("impossible target should yield zero capacity")
+	}
+	if MDCapacity(0, 1) != 0 {
+		t.Fatal("degenerate service")
+	}
+}
+
+func TestPSMulticoreApproxLimits(t *testing.T) {
+	// c=1 must agree with exact M/G/1-PS.
+	exact := MG1PS{Lambda: 7, MeanService: 0.1}.MeanSojourn()
+	approx := PSMulticoreApprox(7, 0.1, 1)
+	if !almost(exact, approx, 1e-9) {
+		t.Fatalf("c=1 approx %g, exact %g", approx, exact)
+	}
+	// Light load: sojourn ~ service time.
+	light := PSMulticoreApprox(0.1, 0.1, 8)
+	if !almost(light, 0.1, 0.001) {
+		t.Fatalf("light-load sojourn %g", light)
+	}
+	// Overload: infinite.
+	if !math.IsInf(PSMulticoreApprox(1000, 0.1, 4), 1) {
+		t.Fatal("overloaded approx finite")
+	}
+}
+
+// Property: Erlang-C is within [0,1] and increasing in load for fixed c.
+func TestQuickErlangCMonotone(t *testing.T) {
+	f := func(cRaw uint8, steps uint8) bool {
+		c := int(cRaw%16) + 1
+		prev := -1.0
+		n := int(steps%20) + 2
+		for i := 1; i < n; i++ {
+			rho := float64(i) / float64(n)
+			q := MMc{Lambda: rho * float64(c), Mu: 1, C: c}
+			ec := q.ErlangC()
+			if ec < 0 || ec > 1 || ec < prev {
+				return false
+			}
+			prev = ec
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PS sojourn is increasing in lambda and diverges at saturation.
+func TestQuickPSSojournMonotone(t *testing.T) {
+	f := func(sRaw uint8) bool {
+		meanS := float64(sRaw%50)/1000 + 0.001
+		prev := 0.0
+		for i := 1; i <= 9; i++ {
+			lambda := float64(i) / 10 / meanS
+			got := MG1PS{Lambda: lambda, MeanService: meanS}.MeanSojourn()
+			if got <= prev {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkErlangC(b *testing.B) {
+	q := MMc{Lambda: 30, Mu: 1, C: 48}
+	for i := 0; i < b.N; i++ {
+		_ = q.ErlangC()
+	}
+}

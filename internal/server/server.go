@@ -1,0 +1,339 @@
+// Package server models one leaf node: a multi-core processor-sharing
+// queue whose service speed depends on the DVFS frequency and on each
+// request's frequency sensitivity, and whose power draw follows the
+// per-type model of internal/power.
+//
+// The dynamics are exact between events: while the active set and the
+// frequency are unchanged, every request progresses linearly, so the next
+// completion instant can be computed in closed form and the power draw is
+// piecewise constant. The simulation driver advances servers lazily.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"antidope/internal/power"
+	"antidope/internal/workload"
+)
+
+// Server is one simulated node. It is not safe for concurrent use; the
+// simulator is single-goroutine by design.
+type Server struct {
+	ID    int
+	Cores int
+	// MaxInflight bounds the active set; arrivals beyond it are rejected,
+	// which is what degrades "service availability" in Figure 9.
+	MaxInflight int
+	Model       power.Model
+
+	// Suspect marks nodes the Anti-DOPE PDF module routes risky traffic to.
+	Suspect bool
+
+	freq    power.GHz
+	active  []*workload.Request
+	lastAdv float64
+	version uint64
+
+	// Accounting.
+	energyJ       float64
+	busyCoreSecs  float64
+	completed     uint64
+	rejected      uint64
+	lastPower     float64
+	powerDirty    bool
+	cachedPerf    map[workload.Class]profileCache
+	demandServed  float64
+	freqChangeCnt uint64
+}
+
+type profileCache struct {
+	beta   float64
+	weight float64
+	alpha  float64
+}
+
+// Config carries construction parameters.
+type Config struct {
+	ID          int
+	Cores       int
+	MaxInflight int
+	Model       power.Model
+}
+
+// New builds a server at the ladder maximum frequency.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("server %d: cores %d must be positive", cfg.ID, cfg.Cores)
+	}
+	if cfg.MaxInflight <= 0 {
+		return nil, fmt.Errorf("server %d: max inflight %d must be positive", cfg.ID, cfg.MaxInflight)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+	}
+	s := &Server{
+		ID:          cfg.ID,
+		Cores:       cfg.Cores,
+		MaxInflight: cfg.MaxInflight,
+		Model:       cfg.Model,
+		freq:        cfg.Model.Ladder.Max,
+		cachedPerf:  make(map[workload.Class]profileCache, workload.NumClasses),
+		powerDirty:  true,
+	}
+	for c := workload.Class(0); int(c) < workload.NumClasses; c++ {
+		p := workload.Lookup(c)
+		s.cachedPerf[c] = profileCache{beta: p.PerfBeta, weight: p.PowerWeight, alpha: p.PowerAlpha}
+	}
+	return s, nil
+}
+
+// MustNew is New for tests and examples with known-good configs.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Version increments whenever the server's dynamics change (arrival,
+// completion, frequency change). The simulation driver stamps scheduled
+// completion events with it to invalidate stale events cheaply.
+func (s *Server) Version() uint64 { return s.version }
+
+// Inflight returns the number of requests currently in service.
+func (s *Server) Inflight() int { return len(s.active) }
+
+// Completed returns the count of finished requests.
+func (s *Server) Completed() uint64 { return s.completed }
+
+// Rejected returns the count of admission rejections.
+func (s *Server) Rejected() uint64 { return s.rejected }
+
+// EnergyJ returns integrated energy since construction.
+func (s *Server) EnergyJ() float64 { return s.energyJ }
+
+// BusyCoreSeconds returns accumulated busy core-time, for utilization math.
+func (s *Server) BusyCoreSeconds() float64 { return s.busyCoreSecs }
+
+// FreqChanges returns how many times the operating frequency moved, a proxy
+// for actuation churn.
+func (s *Server) FreqChanges() uint64 { return s.freqChangeCnt }
+
+// share returns the core share each active request receives.
+func (s *Server) share() float64 {
+	n := len(s.active)
+	if n == 0 {
+		return 0
+	}
+	if n <= s.Cores {
+		return 1
+	}
+	return float64(s.Cores) / float64(n)
+}
+
+// speedOf returns the demand-depletion rate of one request at the current
+// operating point: core share × (f/f_max)^beta.
+func (s *Server) speedOf(r *workload.Request) float64 {
+	rel := s.Model.Ladder.Rel(s.freq)
+	pc := s.cachedPerf[r.Class]
+	return s.share() * math.Pow(rel, pc.beta)
+}
+
+// Advance moves the server's internal clock to now, depleting demand and
+// integrating energy. It returns requests that completed, with FinishAt
+// set. Advance must be called with non-decreasing now.
+func (s *Server) Advance(now float64) []*workload.Request {
+	dt := now - s.lastAdv
+	if dt < 0 {
+		panic(fmt.Sprintf("server %d: advance backwards %.9f -> %.9f", s.ID, s.lastAdv, now))
+	}
+	if dt == 0 {
+		return nil
+	}
+	// Power and speeds are constant over (lastAdv, now] because the driver
+	// always advances to the next event boundary.
+	s.energyJ += s.PowerNow() * dt
+	s.busyCoreSecs += s.share() * float64(len(s.active)) * dt
+
+	var done []*workload.Request
+	if len(s.active) > 0 {
+		keep := s.active[:0]
+		for _, r := range s.active {
+			r.Remaining -= s.speedOf(r) * dt
+			if r.Remaining <= 1e-9 {
+				r.Remaining = 0
+				r.FinishAt = now
+				s.completed++
+				s.demandServed += r.Demand
+				done = append(done, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		s.active = keep
+		if len(done) > 0 {
+			s.version++
+			s.powerDirty = true
+		}
+	}
+	s.lastAdv = now
+	return done
+}
+
+// Admit places a request in service at time now. The caller must have
+// advanced the server to now first. It returns false (and marks the request
+// dropped) when the inflight bound is hit.
+func (s *Server) Admit(now float64, r *workload.Request) bool {
+	if now != s.lastAdv {
+		panic(fmt.Sprintf("server %d: admit at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
+	}
+	if len(s.active) >= s.MaxInflight {
+		s.rejected++
+		r.Dropped = true
+		r.DropReason = "server-queue-full"
+		return false
+	}
+	r.StartAt = now
+	s.active = append(s.active, r)
+	s.version++
+	s.powerDirty = true
+	return true
+}
+
+// NextCompletion returns the absolute time of the earliest completion under
+// the current operating point, or ok=false when idle.
+func (s *Server) NextCompletion() (at float64, ok bool) {
+	if len(s.active) == 0 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for _, r := range s.active {
+		sp := s.speedOf(r)
+		if sp <= 0 {
+			continue
+		}
+		t := r.Remaining / sp
+		if t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return s.lastAdv + best, true
+}
+
+// mix summarizes the active set as power-model components, one per class.
+func (s *Server) mix() []power.Component {
+	if len(s.active) == 0 {
+		return nil
+	}
+	var counts [workload.NumClasses]int
+	for _, r := range s.active {
+		counts[r.Class]++
+	}
+	share := s.share()
+	out := make([]power.Component, 0, 4)
+	for c, n := range counts {
+		if n == 0 {
+			continue
+		}
+		pc := s.cachedPerf[workload.Class(c)]
+		out = append(out, power.Component{
+			Util:   float64(n) * share / float64(s.Cores),
+			Weight: pc.weight,
+			Alpha:  pc.alpha,
+		})
+	}
+	return out
+}
+
+// PowerNow returns the instantaneous draw at the current operating point.
+func (s *Server) PowerNow() power.Watts {
+	if s.powerDirty {
+		s.lastPower = s.Model.Power(s.freq, s.mix())
+		s.powerDirty = false
+	}
+	return s.lastPower
+}
+
+// PowerAt predicts the draw if the frequency were capped to f with the
+// current load mix — the governor's planning primitive.
+func (s *Server) PowerAt(f power.GHz) power.Watts {
+	return s.Model.Power(f, s.mix())
+}
+
+// Freq returns the current operating frequency.
+func (s *Server) Freq() power.GHz { return s.freq }
+
+// CapFreq snaps the server to the given ladder level. The caller must have
+// advanced the server to the decision instant first, because a frequency
+// change alters all in-flight completion times.
+func (s *Server) CapFreq(f power.GHz) {
+	nf := s.Model.Ladder.Clamp(f)
+	if nf == s.freq {
+		return
+	}
+	s.freq = nf
+	s.version++
+	s.powerDirty = true
+	s.freqChangeCnt++
+}
+
+// Utilization returns the fraction of core capacity in use right now.
+func (s *Server) Utilization() float64 {
+	return s.share() * float64(len(s.active)) / float64(s.Cores)
+}
+
+// ClassCounts returns the number of in-service requests per class.
+func (s *Server) ClassCounts() map[workload.Class]int {
+	out := make(map[workload.Class]int)
+	for _, r := range s.active {
+		out[r.Class]++
+	}
+	return out
+}
+
+// DrainDeadline estimates when the server would drain if no more arrivals
+// came, for battery-autonomy planning. Returns 0 when idle.
+func (s *Server) DrainDeadline() float64 {
+	total := 0.0
+	rel := s.Model.Ladder.Rel(s.freq)
+	for _, r := range s.active {
+		pc := s.cachedPerf[r.Class]
+		total += r.Remaining / math.Pow(rel, pc.beta)
+	}
+	if total == 0 {
+		return 0
+	}
+	// Work conserves: total core-seconds left divided by core capacity.
+	return s.lastAdv + total/float64(s.Cores)
+}
+
+var _ power.Capper = (*Server)(nil)
+
+// FailAll drops every in-flight request, modeling a power-loss event in the
+// server's domain (breaker trip). The caller must have advanced the server
+// to now first. The dropped requests are returned for accounting; the
+// server itself is immediately reusable once the caller's outage window
+// ends.
+func (s *Server) FailAll(now float64) []*workload.Request {
+	if now != s.lastAdv {
+		panic(fmt.Sprintf("server %d: fail at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
+	}
+	if len(s.active) == 0 {
+		return nil
+	}
+	failed := s.active
+	s.active = nil
+	for _, r := range failed {
+		r.Dropped = true
+		r.DropReason = "outage"
+	}
+	s.rejected += uint64(len(failed))
+	s.version++
+	s.powerDirty = true
+	return failed
+}

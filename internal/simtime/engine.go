@@ -1,0 +1,196 @@
+// Package simtime implements the discrete-event core of the simulator: a
+// virtual clock and an event queue ordered by timestamp with deterministic
+// FIFO tie-breaking. All simulator components share one Engine; wall-clock
+// time never appears anywhere in the simulation.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Seconds is the unit of simulated time throughout the repository.
+type Seconds = float64
+
+// Event is a scheduled callback. Events fire in timestamp order; events with
+// equal timestamps fire in scheduling order, which keeps runs reproducible.
+type Event struct {
+	at  Seconds
+	seq uint64
+	fn  func(now Seconds)
+	// cancelled events stay in the heap but are skipped when popped; this is
+	// cheaper than heap removal and keeps cancellation O(1).
+	cancelled bool
+	index     int
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// At returns the timestamp the event is scheduled for.
+func (e *Event) At() Seconds { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event set.
+type Engine struct {
+	now    Seconds
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Seconds { return e.now }
+
+// Fired returns the number of events executed so far, a cheap progress and
+// determinism probe for tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of live (non-cancelled) events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule queues fn to run at the given absolute time. Scheduling in the
+// past (before Now) panics: that is always a simulator bug, and silently
+// clamping it would hide causality violations.
+func (e *Engine) Schedule(at Seconds, fn func(now Seconds)) *Event {
+	if math.IsNaN(at) {
+		panic("simtime: schedule at NaN")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule at %.9f before now %.9f", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After queues fn to run delay seconds from now.
+func (e *Engine) After(delay Seconds, fn func(now Seconds)) *Event {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step fires the single earliest pending event. It returns false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass horizon or the
+// queue drains. The clock is left at exactly horizon when the horizon is hit
+// so that periodic processes can resume cleanly.
+func (e *Engine) RunUntil(horizon Seconds) {
+	for len(e.events) > 0 {
+		// Peek.
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Ticker repeatedly schedules fn every period, starting at start, until the
+// engine stops being run. Cancel the returned ticker to stop it.
+type Ticker struct {
+	engine *Engine
+	period Seconds
+	fn     func(now Seconds)
+	ev     *Event
+	done   bool
+}
+
+// Tick registers a periodic callback. Period must be positive.
+func (e *Engine) Tick(start, period Seconds, fn func(now Seconds)) *Ticker {
+	if period <= 0 {
+		panic("simtime: non-positive tick period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.ev = e.Schedule(start, t.fire)
+	return t
+}
+
+func (t *Ticker) fire(now Seconds) {
+	if t.done {
+		return
+	}
+	t.fn(now)
+	if !t.done {
+		t.ev = t.engine.Schedule(now+t.period, t.fire)
+	}
+}
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.ev.Cancel()
+}

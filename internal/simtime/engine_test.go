@@ -1,0 +1,222 @@
+package simtime
+
+import (
+	"testing"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func(now Seconds) { order = append(order, 3) })
+	e.Schedule(1, func(now Seconds) { order = append(order, 1) })
+	e.Schedule(2, func(now Seconds) { order = append(order, 2) })
+	e.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %g, want 10", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func(now Seconds) { order = append(order, i) })
+	}
+	e.RunUntil(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(now Seconds) {})
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func(now Seconds) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func(now Seconds) { fired = true })
+	ev.Cancel()
+	e.RunUntil(2)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var ev *Event
+	ev.Cancel() // must not panic
+	if ev.Cancelled() {
+		t.Fatal("nil event reports cancelled")
+	}
+}
+
+func TestHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(10, func(now Seconds) { fired = true })
+	e.RunUntil(5)
+	if fired {
+		t.Fatal("event past the horizon fired")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %g, want 5", e.Now())
+	}
+	e.RunUntil(15)
+	if !fired {
+		t.Fatal("event not fired after horizon extension")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var times []Seconds
+	e.Schedule(1, func(now Seconds) {
+		times = append(times, now)
+		e.Schedule(now+1, func(now Seconds) { times = append(times, now) })
+	})
+	e.RunUntil(5)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("chained schedule times %v", times)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var at Seconds = -1
+	e.Schedule(2, func(now Seconds) {
+		e.After(3, func(now Seconds) { at = now })
+	})
+	e.RunUntil(10)
+	if at != 5 {
+		t.Fatalf("After fired at %g, want 5", at)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Seconds
+	e.Tick(0, 1, func(now Seconds) { ticks = append(ticks, now) })
+	e.RunUntil(4.5)
+	want := []Seconds{0, 1, 2, 3, 4}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Tick(0, 1, func(now Seconds) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(10)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tick with zero period did not panic")
+		}
+	}()
+	e.Tick(0, 0, func(now Seconds) {})
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func(now Seconds) {})
+	e.Schedule(2, func(now Seconds) {})
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock %g after one step", e.Now())
+	}
+	if !e.Step() {
+		t.Fatal("second Step returned false")
+	}
+	if e.Step() {
+		t.Fatal("Step returned true with empty queue")
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func(now Seconds) {})
+	e.Schedule(2, func(now Seconds) {})
+	a.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func(now Seconds) {})
+	}
+	e.RunUntil(100)
+	if e.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10", e.Fired())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Seconds {
+		e := NewEngine()
+		var log []Seconds
+		e.Tick(0, 0.7, func(now Seconds) { log = append(log, now) })
+		e.Schedule(1.4, func(now Seconds) { log = append(log, -now) })
+		e.RunUntil(5)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("replay lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%97), func(now Seconds) {})
+		}
+		e.RunUntil(100)
+	}
+}

@@ -1,0 +1,23 @@
+package sla_test
+
+import (
+	"fmt"
+
+	"antidope/internal/core"
+	"antidope/internal/sla"
+)
+
+// Example checks a healthy baseline run against the default SLA.
+func Example() {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 40
+	res, err := core.RunOnce(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	objectives := sla.Default()
+	fmt.Println("objectives met:", objectives.Met(res))
+	// Output:
+	// objectives met: true
+}

@@ -1,0 +1,131 @@
+// Package sla defines service-level objectives over simulation results and
+// the capacity planner built on them: the highest legitimate load a
+// configuration can carry — with an attack in progress — while still
+// meeting its latency and availability targets. This is the operator-facing
+// question behind the paper's Figures 16-17: how much capacity does each
+// defense preserve under DOPE?
+package sla
+
+import (
+	"fmt"
+
+	"antidope/internal/core"
+)
+
+// SLA is a set of service-level objectives; zero-valued fields are not
+// checked.
+type SLA struct {
+	// MeanRT / P90RT / P99RT are latency ceilings in seconds.
+	MeanRT float64
+	P90RT  float64
+	P99RT  float64
+	// MinAvailability is the floor on completed/offered legitimate traffic.
+	MinAvailability float64
+	// MaxBudgetViolation is the ceiling on the fraction of control slots
+	// over the power budget.
+	MaxBudgetViolation float64
+}
+
+// Default is the evaluation's SLA, shaped after the paper's Section 6
+// numbers: mean under 100 ms, p90 under 250 ms, 95% availability, and an
+// (almost) clean power budget.
+func Default() SLA {
+	return SLA{
+		MeanRT:             0.100,
+		P90RT:              0.250,
+		MinAvailability:    0.95,
+		MaxBudgetViolation: 0.05,
+	}
+}
+
+// Violation is one objective the result missed.
+type Violation struct {
+	Metric string
+	Limit  float64
+	Actual float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %.4g (limit %.4g)", v.Metric, v.Actual, v.Limit)
+}
+
+// Check returns every violated objective, empty when the SLA is met.
+func (s SLA) Check(res *core.Result) []Violation {
+	var out []Violation
+	add := func(metric string, limit, actual float64, bad bool) {
+		if bad {
+			out = append(out, Violation{Metric: metric, Limit: limit, Actual: actual})
+		}
+	}
+	if s.MeanRT > 0 {
+		add("mean response time", s.MeanRT, res.MeanRT(), res.MeanRT() > s.MeanRT)
+	}
+	if s.P90RT > 0 {
+		add("p90 response time", s.P90RT, res.TailRT(90), res.TailRT(90) > s.P90RT)
+	}
+	if s.P99RT > 0 {
+		add("p99 response time", s.P99RT, res.TailRT(99), res.TailRT(99) > s.P99RT)
+	}
+	if s.MinAvailability > 0 {
+		av := res.Availability()
+		add("availability", s.MinAvailability, av, av < s.MinAvailability)
+	}
+	if s.MaxBudgetViolation > 0 {
+		add("budget violation", s.MaxBudgetViolation, res.FracSlotsOverBudget,
+			res.FracSlotsOverBudget > s.MaxBudgetViolation)
+	}
+	return out
+}
+
+// Met reports whether the result satisfies every objective.
+func (s SLA) Met(res *core.Result) bool { return len(s.Check(res)) == 0 }
+
+// MaxLegitRPS binary-searches the highest legitimate request rate (the
+// NormalRPS knob of the configuration) that still meets the SLA. The
+// template's other fields — scheme, budget, attacks — are held fixed; each
+// probe derives its seed from the template's. It returns 0 when even lo
+// fails, and hi when hi itself passes.
+func MaxLegitRPS(template core.Config, objectives SLA, lo, hi float64, probes int) (float64, error) {
+	if lo < 0 || hi <= lo || probes <= 0 {
+		return 0, fmt.Errorf("sla: bad search range [%g,%g] x%d", lo, hi, probes)
+	}
+	run := func(rps float64) (bool, error) {
+		cfg := template
+		cfg.NormalRPS = rps
+		if cfg.NormalSources <= 0 {
+			cfg.NormalSources = 64
+		}
+		res, err := core.RunOnce(cfg)
+		if err != nil {
+			return false, err
+		}
+		return objectives.Met(res), nil
+	}
+
+	ok, err := run(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	if ok, err = run(hi); err != nil {
+		return 0, err
+	} else if ok {
+		return hi, nil
+	}
+	// Invariant: lo passes, hi fails.
+	for i := 0; i < probes; i++ {
+		mid := (lo + hi) / 2
+		ok, err := run(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,37 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"antidope/internal/thermal"
+)
+
+// Example walks a plant through a heat emergency: sustained draw above the
+// CRAC capacity slowly raises the inlet until the hardware throttle fires.
+func Example() {
+	cfg := thermal.Config{Enabled: true, CRACCapacityW: 150}.Defaults()
+	plant, err := thermal.NewPlant(cfg, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Settle at idle first (the plant initializes at the first step's
+	// operating point), then apply the sustained overload.
+	for sec := 0; sec < 60; sec++ {
+		plant.Step(1, []float64{45, 45})
+	}
+	hotAt := -1
+	for sec := 0; sec < 1200; sec++ {
+		hot := plant.Step(1, []float64{100, 100}) // 50 W over capacity
+		if hotAt < 0 && (hot[0] || hot[1]) {
+			hotAt = sec
+		}
+	}
+	fmt.Printf("throttle engaged: %v (minutes after onset: %v)\n",
+		plant.ThrottleEvents() > 0, hotAt > 60)
+	fmt.Printf("final state: %.0f°C inlet, %.0f°C hottest server\n",
+		plant.InletC(), plant.MaxTempC())
+	// Output:
+	// throttle engaged: true (minutes after onset: true)
+	// final state: 29°C inlet, 64°C hottest server
+}

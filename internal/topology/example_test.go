@@ -1,0 +1,47 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"antidope/internal/stats"
+	"antidope/internal/topology"
+)
+
+// Example builds a two-rack tree and finds the level a concentrated load
+// violates first.
+func Example() {
+	hot := func() stats.Series {
+		var s stats.Series
+		for i := 0; i < 60; i++ {
+			v := 60.0
+			if i >= 20 {
+				v = 95 // the flood lands on this rack's servers
+			}
+			s.Add(float64(i), v)
+		}
+		return s
+	}
+	cool := func() stats.Series {
+		var s stats.Series
+		for i := 0; i < 60; i++ {
+			s.Add(float64(i), 55)
+		}
+		return s
+	}
+	rack0 := topology.Rack("rack-0", 160, 100, []stats.Series{hot(), hot()})
+	rack1 := topology.Rack("rack-1", 160, 100, []stats.Series{cool(), cool()})
+	feed := topology.Facility("feed", 400, []*topology.Node{rack0, rack1})
+
+	reports, err := topology.Analyze(feed, 0, 59, 60)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if trip, ok := topology.FirstTrip(reports); ok {
+		fmt.Printf("first over capacity: %s at t=%.0f\n", trip.Name, trip.FirstOverAt)
+	}
+	fmt.Printf("rack-0 oversubscription: %.2fx\n", rack0.OversubscriptionRatio())
+	// Output:
+	// first over capacity: rack-0 at t=20
+	// rack-0 oversubscription: 1.25x
+}

@@ -1,0 +1,190 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/core"
+	"antidope/internal/stats"
+	"antidope/internal/workload"
+)
+
+func constSeries(v float64, n int) stats.Series {
+	var s stats.Series
+	for i := 0; i < n; i++ {
+		s.Add(float64(i), v)
+	}
+	return s
+}
+
+func stepSeries(lo, hi, stepT float64, n int) stats.Series {
+	var s stats.Series
+	for i := 0; i < n; i++ {
+		v := lo
+		if float64(i) >= stepT {
+			v = hi
+		}
+		s.Add(float64(i), v)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	leafless := &Node{Name: "x", CapacityW: 10}
+	if leafless.Validate() == nil {
+		t.Fatal("node with neither profile nor children validated")
+	}
+	s := constSeries(1, 3)
+	both := &Node{Name: "y", Profile: &s, Children: []*Node{{Name: "z", Profile: &s}}}
+	if both.Validate() == nil {
+		t.Fatal("leaf+internal validated")
+	}
+	dup := Facility("f", 100, []*Node{
+		Rack("r", 50, 100, []stats.Series{constSeries(1, 2)}),
+		Rack("r", 50, 100, []stats.Series{constSeries(1, 2)}),
+	})
+	if dup.Validate() == nil {
+		t.Fatal("duplicate names validated")
+	}
+	neg := &Node{Name: "n", CapacityW: -1, Profile: &s}
+	if neg.Validate() == nil {
+		t.Fatal("negative capacity validated")
+	}
+	ok := Facility("f", 100, []*Node{Rack("r0", 50, 100, []stats.Series{constSeries(1, 2)})})
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrawAggregates(t *testing.T) {
+	rack := Rack("r", 300, 100, []stats.Series{
+		constSeries(80, 10), constSeries(60, 10),
+	})
+	if got := rack.DrawAt(5); math.Abs(got-140) > 1e-9 {
+		t.Fatalf("rack draw %g, want 140", got)
+	}
+	fac := Facility("f", 500, []*Node{rack})
+	if got := fac.DrawAt(5); math.Abs(got-140) > 1e-9 {
+		t.Fatalf("facility draw %g", got)
+	}
+}
+
+func TestSeriesSampleAndHold(t *testing.T) {
+	s := stepSeries(10, 90, 5, 10)
+	leaf := &Node{Name: "l", Profile: &s}
+	if leaf.DrawAt(-1) != 10 || leaf.DrawAt(4.9) != 10 {
+		t.Fatal("pre-step hold")
+	}
+	if leaf.DrawAt(5) != 90 || leaf.DrawAt(100) != 90 {
+		t.Fatal("post-step hold")
+	}
+}
+
+func TestOversubscriptionRatio(t *testing.T) {
+	// Two 100 W servers behind a 150 W PDU: 1.33x oversubscribed.
+	rack := Rack("r", 150, 100, []stats.Series{constSeries(1, 2), constSeries(1, 2)})
+	if got := rack.OversubscriptionRatio(); math.Abs(got-200.0/150) > 1e-9 {
+		t.Fatalf("ratio %g", got)
+	}
+	leaf := rack.Children[0]
+	if leaf.OversubscriptionRatio() != 0 {
+		t.Fatal("leaf ratio")
+	}
+}
+
+func TestAnalyzeFindsRackLevelViolation(t *testing.T) {
+	// Attack concentrates on rack-0: it violates its PDU at t=20 while the
+	// facility feed stays comfortable.
+	rack0 := Rack("rack-0", 150, 100, []stats.Series{
+		stepSeries(50, 95, 20, 60), stepSeries(50, 95, 20, 60),
+	})
+	rack1 := Rack("rack-1", 150, 100, []stats.Series{
+		constSeries(50, 60), constSeries(50, 60),
+	})
+	fac := Facility("feed", 500, []*Node{rack0, rack1})
+	reports, err := Analyze(fac, 0, 59, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LevelReport{}
+	for _, r := range reports {
+		byName[r.Name] = r
+	}
+	if byName["rack-0"].FracOver <= 0 {
+		t.Fatal("rack-0 violation missed")
+	}
+	if byName["rack-1"].FracOver != 0 {
+		t.Fatal("rack-1 falsely flagged")
+	}
+	if byName["feed"].FracOver != 0 {
+		t.Fatal("feed falsely flagged: 290 W peak under 500 W capacity")
+	}
+	trip, ok := FirstTrip(reports)
+	if !ok || trip.Name != "rack-0" {
+		t.Fatalf("first trip %v/%v, want rack-0", trip.Name, ok)
+	}
+	if math.Abs(trip.FirstOverAt-20) > 1.5 {
+		t.Fatalf("first trip at %g, want ~20", trip.FirstOverAt)
+	}
+}
+
+func TestAnalyzeBadWindow(t *testing.T) {
+	fac := Facility("f", 100, []*Node{Rack("r", 50, 100, []stats.Series{constSeries(1, 2)})})
+	if _, err := Analyze(fac, 10, 5, 10); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, err := Analyze(fac, 0, 10, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestFirstTripNone(t *testing.T) {
+	fac := Facility("f", 1000, []*Node{Rack("r", 500, 100, []stats.Series{constSeries(10, 5)})})
+	reports, _ := Analyze(fac, 0, 4, 5)
+	if _, ok := FirstTrip(reports); ok {
+		t.Fatal("trip reported with everything under capacity")
+	}
+}
+
+// End to end: feed a real simulation's per-server power into the tree and
+// show the paper's rack-level story — under plain spreading the flood heats
+// every PDU; under Anti-DOPE the suspect rack absorbs it.
+func TestSimulationDrivenTopology(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 90
+	cfg.WarmupSec = 10
+	cfg.Cluster.Servers = 8
+	cfg.Cluster.Budget = cluster.MediumPB
+	cfg.RecordPerServer = true
+	cfg.Attacks = []attack.Spec{
+		attack.HTTPLoadTool(workload.CollaFilt, 80, 32, 15, 70),
+	}
+	res, err := core.RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerServerPower) != 8 {
+		t.Fatalf("per-server series %d, want 8", len(res.PerServerPower))
+	}
+	// Two racks of 4 servers behind 360 W PDUs.
+	rack0 := Rack("rack-0", 360, 100, res.PerServerPower[:4])
+	rack1 := Rack("rack-1", 360, 100, res.PerServerPower[4:])
+	fac := Facility("feed", 680, []*Node{rack0, rack1})
+	reports, err := Analyze(fac, 0, res.Horizon, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With least-loaded spreading the flood raises both racks; at least the
+	// total (feed) pressure must register somewhere.
+	var feedPeak float64
+	for _, r := range reports {
+		if r.Name == "feed" {
+			feedPeak = r.PeakW
+		}
+	}
+	if feedPeak <= 500 {
+		t.Fatalf("feed peak %g W implausibly low under flood", feedPeak)
+	}
+}

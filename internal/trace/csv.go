@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads a container-usage CSV in the Alibaba clusterdata v2018
+// schema and aggregates it to a cluster utilization Trace.
+//
+// The expected columns (header optional) are:
+//
+//	container_id, machine_id, time_stamp, cpu_util_percent, mem_gps, ...
+//
+// Only time_stamp (seconds) and cpu_util_percent (0-100) are consumed;
+// trailing columns are ignored so both container_usage and machine_usage
+// files parse. Rows with malformed numbers are skipped and counted; more
+// than half malformed is an error, because that indicates the wrong file
+// rather than dirty data.
+func LoadCSV(r io.Reader, intervalSec float64) (*Trace, error) {
+	if intervalSec <= 0 {
+		return nil, fmt.Errorf("trace: interval %v must be positive", intervalSec)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // the real trace has variable trailing fields
+	cr.ReuseRecord = true
+
+	type bucket struct {
+		sum   float64
+		count int
+	}
+	buckets := make(map[int64]*bucket)
+	machines := make(map[string]struct{})
+	var rows, bad int
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv read: %w", err)
+		}
+		if len(rec) < 4 {
+			bad++
+			continue
+		}
+		// Skip a header row if present.
+		if rows == 0 && strings.Contains(strings.ToLower(rec[2]), "time") {
+			continue
+		}
+		rows++
+		ts, err1 := strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+		cpu, err2 := strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
+		if err1 != nil || err2 != nil || cpu < 0 {
+			bad++
+			continue
+		}
+		machines[rec[1]] = struct{}{}
+		k := int64(ts / intervalSec)
+		b := buckets[k]
+		if b == nil {
+			b = &bucket{}
+			buckets[k] = b
+		}
+		b.sum += cpu / 100
+		b.count++
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if bad*2 > rows {
+		return nil, fmt.Errorf("trace: %d/%d rows malformed; wrong schema?", bad, rows)
+	}
+
+	keys := make([]int64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("trace: no usable rows")
+	}
+
+	first, last := keys[0], keys[len(keys)-1]
+	out := &Trace{
+		IntervalSec: intervalSec,
+		Samples:     make([]float64, last-first+1),
+		Machines:    len(machines),
+	}
+	prev := 0.0
+	for i := range out.Samples {
+		if b, ok := buckets[first+int64(i)]; ok && b.count > 0 {
+			prev = b.sum / float64(b.count)
+		}
+		// Gaps in the trace hold the previous value, matching how the
+		// simulator samples it.
+		out.Samples[i] = clamp01(prev)
+	}
+	return out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

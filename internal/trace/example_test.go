@@ -1,0 +1,29 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"antidope/internal/trace"
+)
+
+// Example synthesizes a small Alibaba-like trace and reads its
+// oversubscription analysis — the numbers that justify (and endanger)
+// aggressive power provisioning.
+func Example() {
+	cfg := trace.DefaultSynth()
+	cfg.Machines = 100
+	cfg.Hours = 6
+	tr, err := trace.Synthesize(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep := tr.Oversubscription(0.45)
+	fmt.Printf("samples: %d at %.0fs\n", len(tr.Samples), tr.IntervalSec)
+	fmt.Printf("oversubscription headroom exists: %v\n", rep.SafeBudgetFrac < 1)
+	fmt.Printf("peak power above the safe budget: %v\n", rep.PeakPowerFrac >= rep.SafeBudgetFrac)
+	// Output:
+	// samples: 360 at 60s
+	// oversubscription headroom exists: true
+	// peak power above the safe budget: true
+}
