@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build vet lint test race fuzz verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Determinism lint suite (internal/lint) plus go vet; see DESIGN.md
+# "Determinism contract".
+lint:
+	$(GO) run ./cmd/antidope-lint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Coverage-guided smoke of the full simulator; CI runs the same budget.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzSim -fuzztime=30s ./internal/core
+
+# Tier-1 verify: what every PR must keep green. The lint target already
+# includes go vet, and race subsumes plain test.
+verify: build lint race

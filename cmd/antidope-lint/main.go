@@ -1,0 +1,69 @@
+// Command antidope-lint runs the determinism lint suite (internal/lint)
+// together with the standard `go vet` passes over the given package
+// patterns. It exits non-zero if either reports a finding.
+//
+// Usage:
+//
+//	go run ./cmd/antidope-lint ./...
+//	go run ./cmd/antidope-lint -vet=false ./internal/core
+//
+// A finding is suppressed by a `//lint:allow <analyzer>` comment on the
+// flagged line or the line above it; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"antidope/internal/lint"
+)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the standard go vet passes")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "antidope-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antidope-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"antidope/internal/attack"
+	"antidope/internal/core"
+	"antidope/internal/defense"
+	"antidope/internal/power"
+	"antidope/internal/report"
+	"antidope/internal/workload"
+)
+
+// replayConfig builds a fresh, fully-featured scenario: adaptive defense,
+// a flood attack, breaker and thermal planes all on, so the replay check
+// covers every subsystem that consumes randomness or ordering. A new
+// Config (and scheme instance) per call keeps the two runs independent.
+func replayConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 90
+	cfg.WarmupSec = 5
+	cfg.Seed = 0xA11CE
+	cfg.Scheme = defense.NewAntiDope(power.DefaultLadder())
+	cfg.NormalRPS = 90
+	cfg.Attacks = []attack.Spec{{
+		Name:     "flood",
+		Layer:    attack.ApplicationLayer,
+		Class:    workload.VictimClasses()[0],
+		RateRPS:  450,
+		Agents:   16,
+		Start:    15,
+		Duration: 45,
+	}}
+	cfg.Breaker = core.BreakerCfg{Enabled: true, ToleranceSec: 5, RepairSec: 10}
+	cfg.Thermal.Enabled = true
+	return cfg
+}
+
+// TestDeterministicReplay is the dynamic counterpart of the lint suite:
+// the same seeded scenario, run twice, must serialize to byte-identical
+// results. Any wall-clock read, global PRNG draw, or map-iteration order
+// reaching a result breaks this test.
+func TestDeterministicReplay(t *testing.T) {
+	serialize := func() []byte {
+		res, err := core.RunOnce(replayConfig())
+		if err != nil {
+			t.Fatalf("RunOnce: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := report.JSON(&buf, res, 200); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		res.Fprint(&buf)
+		return buf.Bytes()
+	}
+
+	first := serialize()
+	second := serialize()
+	if !bytes.Equal(first, second) {
+		i := 0
+		for i < len(first) && i < len(second) && first[i] == second[i] {
+			i++
+		}
+		lo := i - 60
+		if lo < 0 {
+			lo = 0
+		}
+		end := func(b []byte) int {
+			if i+60 < len(b) {
+				return i + 60
+			}
+			return len(b)
+		}
+		t.Fatalf("replay diverged at byte %d:\n run1: …%s…\n run2: …%s…",
+			i, first[lo:end(first)], second[lo:end(second)])
+	}
+}

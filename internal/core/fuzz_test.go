@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -144,4 +145,40 @@ func TestQuickDeterminismEverywhere(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzSim is the native-fuzzing entry point CI smoke-runs for 30 s: the
+// coverage-guided mutator explores the config space far more aggressively
+// than testing/quick's uniform draws. Every discovered input must satisfy
+// the global invariants and replay identically.
+func FuzzSim(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), uint8(40), uint8(4))
+	f.Add(uint64(0xA11CE), uint8(2), uint8(4), uint8(1), uint8(200), uint8(24))
+	f.Add(uint64(42), uint8(3), uint8(5), uint8(3), uint8(0), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, budgetRaw, schemeRaw, classRaw, rateRaw, agentsRaw uint8) {
+		a, err := RunOnce(randomConfig(seed, budgetRaw, schemeRaw, classRaw, rateRaw, agentsRaw))
+		if err != nil {
+			t.Skip("config rejected")
+		}
+		if av := a.Availability(); av < 0 || av > 1 || math.IsNaN(av) {
+			t.Fatalf("availability out of range: %g", av)
+		}
+		if a.CompletedLegit+a.DroppedLegit > a.OfferedLegit {
+			t.Fatalf("legit conservation: %d+%d > %d",
+				a.CompletedLegit, a.DroppedLegit, a.OfferedLegit)
+		}
+		if a.TotalEnergyJ <= 0 || math.IsNaN(a.TotalEnergyJ) {
+			t.Fatalf("energy books: total %g", a.TotalEnergyJ)
+		}
+		b, err := RunOnce(randomConfig(seed, budgetRaw, schemeRaw, classRaw, rateRaw, agentsRaw))
+		if err != nil {
+			t.Fatalf("replay rejected a config the first run accepted: %v", err)
+		}
+		if a.OfferedLegit != b.OfferedLegit || a.CompletedLegit != b.CompletedLegit ||
+			a.TotalEnergyJ != b.TotalEnergyJ || a.PeakPowerW() != b.PeakPowerW() {
+			t.Fatalf("replay diverged: offered %d/%d completed %d/%d energy %g/%g peak %g/%g",
+				a.OfferedLegit, b.OfferedLegit, a.CompletedLegit, b.CompletedLegit,
+				a.TotalEnergyJ, b.TotalEnergyJ, a.PeakPowerW(), b.PeakPowerW())
+		}
+	})
 }

@@ -110,6 +110,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if cfg.Thermal.Enabled {
 		tcfg := cfg.Thermal.Defaults()
+		//lint:allow floateq -- exact zero marks an unset config field
 		if tcfg.CRACCapacityW == 0 {
 			tcfg.CRACCapacityW = cl.BudgetW
 		}

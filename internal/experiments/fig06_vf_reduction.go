@@ -47,14 +47,14 @@ func Fig6(o Options) *Fig6Result {
 
 	for _, class := range workload.VictimClasses() {
 		row := []string{class.String()}
-		for _, rate := range rates {
+		for i, rate := range rates {
 			label := fmt.Sprintf("fig6/%v/%g", class, rate)
 			res := runFlood(o, label, class, rate, cluster.MediumPB,
 				schemeByName("capping"), false, horizon)
 			vf := res.VFRed.MeanOverTime()
 			out.VFReduction[class] = append(out.VFReduction[class], vf)
 			row = append(row, f3(vf))
-			if rate == rates[len(rates)-1] {
+			if i == len(rates)-1 {
 				out.At1000[class] = vf
 			}
 		}

@@ -1,0 +1,180 @@
+// Package lint implements the antidope determinism lint suite: a set of
+// static analyzers that machine-check the reproducibility contract the
+// simulator depends on (no wall clock, no global PRNG, no map-iteration
+// order reaching results, no brittle float equality, no mixed physical
+// units).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library only
+// (go/ast, go/types, export data via `go list -export`), so the repo stays
+// dependency-free and the linters run in any environment that has a Go
+// toolchain. If the repo ever vendors x/tools, each analyzer ports to a
+// real analysis.Analyzer mechanically.
+//
+// Suppression: a finding on line N is suppressed by a comment
+// `//lint:allow <analyzer>` on line N or line N-1. An optional
+// `-- reason` suffix documents why exactness/ordering is intended:
+//
+//	if u == 0 { //lint:allow floateq -- exact sentinel, not a measure
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one determinism check. Run inspects a single type-checked
+// package through pass and reports findings via pass.Reportf.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// PkgPath returns the import path of the package from a *types.PkgName
+// use of ident, or "" if ident does not name an imported package.
+func (p *Pass) PkgPath(ident *ast.Ident) string {
+	if obj, ok := p.TypesInfo.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// All returns the full determinism suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallTime,
+		GlobalRand,
+		MapIter,
+		FloatEq,
+		UnitSuffix,
+	}
+}
+
+// allowRe matches //lint:allow comments; group 1 is the analyzer list
+// (comma- or space-separated), anything after " -- " is a free-form reason.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_, \t]+?)\s*(?:--.*)?$`)
+
+// suppressions maps file base name and line to the set of analyzer names
+// allowed there.
+type suppressions map[string]map[int]map[string]bool
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	byLine, ok := s[pos.Filename]
+	if !ok {
+		return false
+	}
+	// An allow comment applies to its own line (trailing comment) or to
+	// the line directly below it (comment above the statement).
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if names, ok := byLine[line]; ok && names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackage runs the given analyzers over one loaded package, applies
+// //lint:allow suppressions, and returns the surviving diagnostics in
+// source order.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup := buildSuppressions(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(pkg.Fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Watt and joule
+// comparisons accumulate rounding, so exact equality silently flips with
+// any reordering; measures must be compared with a tolerance. Exact
+// sentinel checks (e.g. rejecting u == 0 before a log) are legitimate and
+// carry a //lint:allow floateq comment.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floats; compare measures with a tolerance, " +
+		"or annotate intended-exact sentinels with //lint:allow floateq",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x := pass.TypesInfo.Types[bin.X]
+			y := pass.TypesInfo.Types[bin.Y]
+			// A comparison fully decided at compile time cannot drift.
+			if x.Value != nil && y.Value != nil {
+				return true
+			}
+			if isFloat(defaulted(x.Type)) || isFloat(defaulted(y.Type)) {
+				pass.Reportf(bin.OpPos,
+					"floating-point %s comparison is brittle under rounding; use a tolerance (math.Abs(a-b) < eps)",
+					bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// defaulted maps untyped constant types to their default type so that
+// `x == 1.5` is recognized as a float comparison.
+func defaulted(t types.Type) types.Type {
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	return types.Default(t)
+}

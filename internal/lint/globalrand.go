@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// GlobalRand forbids math/rand and math/rand/v2. The global generators
+// are seeded from runtime state, and even locally-constructed rand.Rand
+// values do not split: inserting one draw shifts every later sequence.
+// internal/rng streams are splittable precisely so components stay
+// independent.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand and math/rand/v2 imports; use internal/rng " +
+		"splittable streams so adding a consumer never perturbs another",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s is non-reproducible across runs; use internal/rng streams (Split per component)",
+					path)
+			}
+		}
+	}
+	return nil
+}

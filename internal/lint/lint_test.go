@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"antidope/internal/lint"
+	"antidope/internal/lint/linttest"
+)
+
+// Each analyzer must fire on its seeded violation fixture, stay silent on
+// the clean code in the same package, and honor //lint:allow.
+
+func TestWallTime(t *testing.T)   { linttest.Run(t, lint.WallTime, "walltime") }
+func TestGlobalRand(t *testing.T) { linttest.Run(t, lint.GlobalRand, "globalrand") }
+func TestMapIter(t *testing.T)    { linttest.Run(t, lint.MapIter, "mapiter") }
+func TestFloatEq(t *testing.T)    { linttest.Run(t, lint.FloatEq, "floateq") }
+func TestUnitSuffix(t *testing.T) { linttest.Run(t, lint.UnitSuffix, "unitsuffix") }
+
+// TestLoadRepoPackage exercises the go-list loader end to end on a real
+// repo package: it must type-check and come back free of findings.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := lint.Load("../..", []string{"./internal/simtime"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags, err := lint.RunPackage(pkgs[0], lint.All())
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s (%s)", d.Message, d.Analyzer)
+	}
+}

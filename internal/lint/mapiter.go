@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` over a map whose body is order-sensitive: the
+// random iteration order must never reach a slice that stays unsorted, a
+// floating-point accumulator (float addition is not associative), or an
+// output stream. Collecting keys and sorting them afterwards is the
+// sanctioned idiom and is recognized as clean.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag order-sensitive map iteration (unsorted appends, float " +
+		"accumulation, printing) so iteration order never reaches a result",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, fn *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapBody(pass, fn, rs)
+		return true
+	})
+}
+
+// checkMapBody inspects one map-range body for order-sensitive effects.
+// fn is the enclosing function body, used to look for a sort call after
+// the loop.
+func checkMapBody(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapAssign(pass, fn, rs, st)
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok {
+				if ident, ok := sel.X.(*ast.Ident); ok && pass.PkgPath(ident) == "fmt" &&
+					(strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")) {
+					pass.Reportf(st.Pos(),
+						"fmt.%s inside map iteration makes output depend on iteration order; sort the keys first",
+						sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMapAssign(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, st *ast.AssignStmt) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return
+	}
+	obj := assignTarget(pass, st.Lhs[0])
+	if obj == nil || declaredInside(obj, rs) {
+		return
+	}
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloat(obj.Type()) {
+			pass.Reportf(st.Pos(),
+				"floating-point accumulation of %s across map iteration is order-dependent (float ops are not associative); sort the keys first",
+				obj.Name())
+		}
+	case token.ASSIGN:
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if !sortedAfter(pass, fn, rs, obj) {
+				pass.Reportf(st.Pos(),
+					"append to %s under map iteration without sorting afterwards leaks iteration order into the slice; sort %s after the loop",
+					obj.Name(), obj.Name())
+			}
+			return
+		}
+		// x = x + delta spelled out longhand.
+		if bin, ok := st.Rhs[0].(*ast.BinaryExpr); ok && isFloat(obj.Type()) &&
+			(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) &&
+			exprRefs(pass, bin, obj) {
+			pass.Reportf(st.Pos(),
+				"floating-point accumulation of %s across map iteration is order-dependent (float ops are not associative); sort the keys first",
+				obj.Name())
+		}
+	}
+}
+
+// assignTarget resolves the object written by an assignment LHS that is
+// a plain identifier or a field selector.
+func assignTarget(pass *Pass, lhs ast.Expr) types.Object {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// declaredInside reports whether obj's declaration lies within the range
+// statement, i.e. it is loop-local and cannot carry order outside.
+func declaredInside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() != token.NoPos && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(ident).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is handed to a sort.* or slices.Sort*
+// call after the loop within the same function body — the sanctioned
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg := pass.PkgPath(ident)
+		isSortCall := pkg == "sort" ||
+			(pkg == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if !isSortCall {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprRefs(pass, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprRefs reports whether expr mentions obj.
+func exprRefs(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(ident) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,33 @@
+// Fixture for the floateq analyzer: float ==/!= are flagged (including
+// against literals and in NaN-check form), integer and fully-constant
+// comparisons are clean, and //lint:allow is honored.
+package floateq
+
+func badEq(a, b float64) bool {
+	return a == b // want "floating-point == comparison is brittle"
+}
+
+func badNeqZero(a float64) bool {
+	return a != 0 // want "floating-point != comparison is brittle"
+}
+
+func badNaNCheck(a float64) bool {
+	return a != a // want "floating-point != comparison is brittle"
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want "floating-point == comparison is brittle"
+}
+
+func cleanInt(a, b int) bool { return a == b }
+
+func cleanConst() bool {
+	const eps = 1e-9
+	return eps == 1e-9 // decided at compile time; cannot drift
+}
+
+func cleanOrdered(a, b float64) bool { return a < b }
+
+func allowed(u float64) bool {
+	return u == 0 //lint:allow floateq -- fixture: escape hatch must be honored
+}

@@ -1,0 +1,7 @@
+package globalrand
+
+import (
+	legacy "math/rand" //lint:allow globalrand -- fixture: escape hatch must be honored
+)
+
+func allowed() int { return legacy.Intn(10) }

@@ -1,0 +1,19 @@
+// Fixture for the globalrand analyzer: both math/rand generations are
+// flagged at the import site; crypto/rand and internal streams are not.
+package globalrand
+
+import (
+	"crypto/rand"
+	mrand "math/rand"     // want "math/rand is non-reproducible"
+	randv2 "math/rand/v2" // want "math/rand/v2 is non-reproducible"
+)
+
+func bad() int {
+	return mrand.Int() + int(randv2.Uint64())
+}
+
+func clean() []byte {
+	b := make([]byte, 8)
+	_, _ = rand.Read(b) // crypto/rand is for keys, not simulation draws
+	return b
+}

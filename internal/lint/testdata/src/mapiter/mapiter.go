@@ -1,0 +1,89 @@
+// Fixture for the mapiter analyzer: order-sensitive map-range bodies are
+// flagged, the collect-keys-then-sort idiom and order-insensitive bodies
+// are clean, and //lint:allow is honored.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out under map iteration without sorting"
+	}
+	return out
+}
+
+func goodSortedAppend(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodSortSlice(m map[int64]int) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badFloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation of total across map iteration"
+	}
+	return total
+}
+
+func badFloatLonghand(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "floating-point accumulation of sum across map iteration"
+	}
+	return sum
+}
+
+func goodIntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // integer counting is order-independent
+	}
+	return n
+}
+
+func goodLoopLocal(m map[string]float64) {
+	for _, v := range m {
+		x := 0.0
+		x += v // accumulator lives inside the loop: no order escapes
+		_ = x
+	}
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration"
+	}
+}
+
+func goodSliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v // slices iterate in order; nothing to flag
+	}
+	return total
+}
+
+func allowedAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //lint:allow mapiter -- fixture: escape hatch must be honored
+	}
+	return total
+}

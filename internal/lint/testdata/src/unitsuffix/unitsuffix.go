@@ -1,0 +1,50 @@
+// Fixture for the unitsuffix analyzer: additive arithmetic and
+// comparisons across conflicting unit suffixes are flagged; same-unit
+// arithmetic and multiplicative unit changes are clean.
+package unitsuffix
+
+func badAdd(peakW, energyJ float64) float64 {
+	return peakW + energyJ // want "peakW \+ energyJ mixes units W and J"
+}
+
+func badScale(budgetW, reserveKW float64) float64 {
+	return budgetW - reserveKW // want "budgetW - reserveKW mixes units W and kW"
+}
+
+func badCompare(horizonSec, latencyMs float64) bool {
+	return horizonSec < latencyMs // want "horizonSec < latencyMs mixes units s and ms"
+}
+
+type result struct {
+	budgetW     float64
+	overBudgetJ float64
+	warmupSec   float64
+}
+
+func badField(r *result) {
+	r.budgetW += r.overBudgetJ // want "budgetW \+= overBudgetJ mixes units W and J"
+}
+
+func badMixedDims(r *result, tickMs float64) bool {
+	return r.warmupSec >= tickMs // want "warmupSec >= tickMs mixes units s and ms"
+}
+
+func cleanSameUnit(peakW, meanW float64) float64 {
+	return peakW - meanW
+}
+
+func cleanMultiply(powerW, dtSec float64) float64 {
+	return powerW * dtSec // W × s = J: multiplication changes units on purpose
+}
+
+func cleanNoSuffix(count, total int) int {
+	return count + total
+}
+
+func cleanShortName(w, j float64) float64 {
+	return w + j // bare one-letter names claim no unit
+}
+
+func allowed(peakW, energyJ float64) float64 {
+	return peakW + energyJ //lint:allow unitsuffix -- fixture: escape hatch must be honored
+}

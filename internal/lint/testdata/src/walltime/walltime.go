@@ -1,0 +1,31 @@
+// Fixture for the walltime analyzer: wall-clock entry points are flagged,
+// pure time-value arithmetic is not, and //lint:allow is honored.
+package walltime
+
+import "time"
+
+func bad() {
+	t := time.Now()                 // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)    // want "time.Sleep reads the wall clock"
+	_ = time.Since(t)               // want "time.Since reads the wall clock"
+	_ = time.Until(t)               // want "time.Until reads the wall clock"
+	<-time.After(time.Second)       // want "time.After reads the wall clock"
+	_ = time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+}
+
+func clean() time.Duration {
+	d := 3 * time.Second  // duration arithmetic carries no clock
+	u := time.Unix(42, 0) // fixed timestamps are reproducible
+	_ = u.Add(d)
+	_, _ = time.ParseDuration("1h")
+	return d
+}
+
+func allowed() time.Time {
+	return time.Now() //lint:allow walltime -- fixture: escape hatch must be honored
+}
+
+func allowedAbove() time.Time {
+	//lint:allow walltime -- fixture: comment on the line above also counts
+	return time.Now()
+}

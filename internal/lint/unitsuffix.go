@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"unicode"
+)
+
+// unitTable maps identifier suffixes to canonical units. Order matters:
+// longest suffix wins, so Watts resolves before W and Msec before Sec.
+var unitTable = []struct {
+	suffix string
+	unit   string
+}{
+	{"Joules", "J"},
+	{"Watts", "W"},
+	{"Seconds", "s"},
+	{"Millis", "ms"},
+	{"Msec", "ms"},
+	{"Secs", "s"},
+	{"Sec", "s"},
+	{"KWH", "kWh"},
+	{"RPS", "rps"},
+	{"KW", "kW"},
+	{"MW", "MW"},
+	{"KJ", "kJ"},
+	{"Hz", "Hz"},
+	{"Ms", "ms"},
+	{"W", "W"},
+	{"J", "J"},
+	{"S", "s"},
+}
+
+// UnitSuffix flags additive arithmetic and comparisons that mix
+// identifiers whose suffixes name different physical units — watts added
+// to joules, seconds compared to milliseconds. Multiplication and
+// division are exempt: they legitimately change units.
+var UnitSuffix = &Analyzer{
+	Name: "unitsuffix",
+	Doc: "flag a+b / a-b / a<b where the operands' unit suffixes disagree " +
+		"(...W vs ...J, ...Sec vs ...Ms); convert explicitly first",
+	Run: runUnitSuffix,
+}
+
+func runUnitSuffix(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.ADD, token.SUB,
+					token.LSS, token.GTR, token.LEQ, token.GEQ,
+					token.EQL, token.NEQ:
+					reportUnitMix(pass, e.OpPos, e.Op.String(), e.X, e.Y)
+				}
+			case *ast.AssignStmt:
+				if (e.Tok == token.ADD_ASSIGN || e.Tok == token.SUB_ASSIGN) &&
+					len(e.Lhs) == 1 && len(e.Rhs) == 1 {
+					reportUnitMix(pass, e.TokPos, e.Tok.String(), e.Lhs[0], e.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportUnitMix(pass *Pass, pos token.Pos, op string, x, y ast.Expr) {
+	xn, xu := operandUnit(x)
+	yn, yu := operandUnit(y)
+	if xu == "" || yu == "" || xu == yu {
+		return
+	}
+	pass.Reportf(pos, "%s %s %s mixes units %s and %s; convert explicitly before combining",
+		xn, op, yn, xu, yu)
+}
+
+// operandUnit extracts a name and its canonical unit from an identifier
+// or field selector operand; other expression forms carry no unit claim.
+func operandUnit(e ast.Expr) (name, unit string) {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	default:
+		return "", ""
+	}
+	return name, unitOf(name)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// unitOf returns the canonical unit named by the identifier's suffix, or
+// "". The character before the suffix must be a lower-case letter or a
+// digit, so PeakW matches W but KW alone (or SoW) does not split wrongly.
+func unitOf(name string) string {
+	for _, u := range unitTable {
+		if len(name) <= len(u.suffix) {
+			continue
+		}
+		if name[len(name)-len(u.suffix):] != u.suffix {
+			continue
+		}
+		prev := rune(name[len(name)-len(u.suffix)-1])
+		if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+			return u.unit
+		}
+	}
+	return ""
+}

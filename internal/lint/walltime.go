@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallTimeFuncs are the package-time entry points that leak the wall
+// clock (or real-time scheduling) into a run. Pure value handling —
+// time.Duration arithmetic, time.Unix, Parse/Format — is allowed.
+var wallTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// WallTime forbids wall-clock access: every simulated timestamp must flow
+// through internal/simtime's virtual clock, or replaying a scenario stops
+// being bit-exact.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep/After and friends; simulation time " +
+		"must come from internal/simtime so runs replay bit-exactly",
+	Run: runWallTime,
+}
+
+func runWallTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || pass.PkgPath(ident) != "time" {
+				return true
+			}
+			if wallTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock and breaks deterministic replay; use the internal/simtime engine clock",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

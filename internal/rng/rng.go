@@ -86,7 +86,7 @@ func (r *Stream) Intn(n int) int {
 // ExpFloat64 returns an exponential sample with mean 1.
 func (r *Stream) ExpFloat64() float64 {
 	u := r.Float64()
-	for u == 0 {
+	for u == 0 { //lint:allow floateq -- exact sentinel: only u==0 makes log diverge
 		u = r.Float64()
 	}
 	return -math.Log(u)

@@ -149,7 +149,7 @@ func (s *Server) Advance(now float64) []*workload.Request {
 	if dt < 0 {
 		panic(fmt.Sprintf("server %d: advance backwards %.9f -> %.9f", s.ID, s.lastAdv, now))
 	}
-	if dt == 0 {
+	if dt == 0 { //lint:allow floateq -- exact re-advance to the same event instant
 		return nil
 	}
 	// Power and speeds are constant over (lastAdv, now] because the driver
@@ -186,6 +186,7 @@ func (s *Server) Advance(now float64) []*workload.Request {
 // advanced the server to now first. It returns false (and marks the request
 // dropped) when the inflight bound is hit.
 func (s *Server) Admit(now float64, r *workload.Request) bool {
+	//lint:allow floateq -- contract check: caller must pass the exact advance instant
 	if now != s.lastAdv {
 		panic(fmt.Sprintf("server %d: admit at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
 	}
@@ -273,6 +274,7 @@ func (s *Server) Freq() power.GHz { return s.freq }
 // change alters all in-flight completion times.
 func (s *Server) CapFreq(f power.GHz) {
 	nf := s.Model.Ladder.Clamp(f)
+	//lint:allow floateq -- both sides come from the same discrete DVFS ladder
 	if nf == s.freq {
 		return
 	}
@@ -305,7 +307,7 @@ func (s *Server) DrainDeadline() float64 {
 		pc := s.cachedPerf[r.Class]
 		total += r.Remaining / math.Pow(rel, pc.beta)
 	}
-	if total == 0 {
+	if total == 0 { //lint:allow floateq -- exact: a sum of non-negatives is 0 iff no work remains
 		return 0
 	}
 	// Work conserves: total core-seconds left divided by core capacity.
@@ -320,6 +322,7 @@ var _ power.Capper = (*Server)(nil)
 // server itself is immediately reusable once the caller's outage window
 // ends.
 func (s *Server) FailAll(now float64) []*workload.Request {
+	//lint:allow floateq -- contract check: caller must pass the exact advance instant
 	if now != s.lastAdv {
 		panic(fmt.Sprintf("server %d: fail at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
 	}

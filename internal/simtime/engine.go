@@ -43,6 +43,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:allow floateq -- deliberate: only bit-identical timestamps tie-break by seq
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

@@ -85,7 +85,7 @@ func (s Summary) Std() float64 { return math.Sqrt(s.Var()) }
 
 // CV returns the coefficient of variation (std/mean), or 0 for mean 0.
 func (s Summary) CV() float64 {
-	if s.mean == 0 {
+	if s.mean == 0 { //lint:allow floateq -- exact guard against dividing by zero
 		return 0
 	}
 	return s.Std() / math.Abs(s.mean)

@@ -125,28 +125,23 @@ type Config struct {
 // and 180 s room time constants, 0.08 °C/W of recirculation rise, and a
 // 62 °C throttle line.
 func (c Config) Defaults() Config {
-	if c.RthCPerW == 0 {
-		c.RthCPerW = 0.35
-	}
-	if c.ServerTauSec == 0 {
-		c.ServerTauSec = 90
-	}
-	if c.SetpointC == 0 {
-		c.SetpointC = 25
-	}
-	if c.RiseCPerW == 0 {
-		c.RiseCPerW = 0.08
-	}
-	if c.RoomTauSec == 0 {
-		c.RoomTauSec = 180
-	}
-	if c.ThrottleC == 0 {
-		c.ThrottleC = 62
-	}
-	if c.HysteresisC == 0 {
-		c.HysteresisC = 3
-	}
+	c.RthCPerW = orDefault(c.RthCPerW, 0.35)
+	c.ServerTauSec = orDefault(c.ServerTauSec, 90)
+	c.SetpointC = orDefault(c.SetpointC, 25)
+	c.RiseCPerW = orDefault(c.RiseCPerW, 0.08)
+	c.RoomTauSec = orDefault(c.RoomTauSec, 180)
+	c.ThrottleC = orDefault(c.ThrottleC, 62)
+	c.HysteresisC = orDefault(c.HysteresisC, 3)
 	return c
+}
+
+// orDefault substitutes d for an unset field; the exact zero value is the
+// "unset" sentinel, never a measured quantity.
+func orDefault(v, d float64) float64 {
+	if v == 0 { //lint:allow floateq -- exact zero marks an unset config field
+		return d
+	}
+	return v
 }
 
 // Validate reports whether the (defaulted) configuration is physical.

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verify path, for environments without make: build, determinism
+# lint suite (includes go vet), and the test suite under the race
+# detector. Mirrors `make verify` and the CI workflow.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> antidope-lint (determinism suite + go vet)"
+go run ./cmd/antidope-lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
