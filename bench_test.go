@@ -8,6 +8,9 @@
 package antidope
 
 import (
+	"fmt"
+	"io"
+	"runtime"
 	"testing"
 
 	"antidope/internal/attack"
@@ -60,7 +63,10 @@ func BenchmarkTable2Schemes(b *testing.B) {
 
 func BenchmarkFig3PowerProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig3(opts(i))
+		r, err := experiments.Fig3(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !r.AppLayerTops() {
 			b.Fatal("fig3 shape lost")
 		}
@@ -69,7 +75,10 @@ func BenchmarkFig3PowerProfile(b *testing.B) {
 
 func BenchmarkFig4PowerVsRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig4(opts(i))
+		r, err := experiments.Fig4(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.MeanPower) == 0 {
 			b.Fatal("fig4 empty")
 		}
@@ -78,7 +87,10 @@ func BenchmarkFig4PowerVsRate(b *testing.B) {
 
 func BenchmarkFig5PowerCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig5(opts(i))
+		r, err := experiments.Fig5(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.CDFs) == 0 {
 			b.Fatal("fig5 empty")
 		}
@@ -87,7 +99,10 @@ func BenchmarkFig5PowerCDF(b *testing.B) {
 
 func BenchmarkFig6VFReduction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig6(opts(i))
+		r, err := experiments.Fig6(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.VFReduction) == 0 {
 			b.Fatal("fig6 empty")
 		}
@@ -96,7 +111,10 @@ func BenchmarkFig6VFReduction(b *testing.B) {
 
 func BenchmarkFig7ServiceQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig7(opts(i))
+		r, err := experiments.Fig7(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.MeanRT) == 0 {
 			b.Fatal("fig7 empty")
 		}
@@ -105,7 +123,10 @@ func BenchmarkFig7ServiceQuality(b *testing.B) {
 
 func BenchmarkFig8ServiceTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig8(opts(i))
+		r, err := experiments.Fig8(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Slowdown) == 0 {
 			b.Fatal("fig8 empty")
 		}
@@ -114,7 +135,10 @@ func BenchmarkFig8ServiceTime(b *testing.B) {
 
 func BenchmarkFig9Availability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig9(opts(i))
+		r, err := experiments.Fig9(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Availability) == 0 {
 			b.Fatal("fig9 empty")
 		}
@@ -123,7 +147,10 @@ func BenchmarkFig9Availability(b *testing.B) {
 
 func BenchmarkFig10Firewall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig10(opts(i))
+		r, err := experiments.Fig10(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.With) == 0 {
 			b.Fatal("fig10 empty")
 		}
@@ -132,7 +159,10 @@ func BenchmarkFig10Firewall(b *testing.B) {
 
 func BenchmarkFig11DopeRegion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig11(opts(i))
+		r, err := experiments.Fig11(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.MinViolatingRPS) == 0 {
 			b.Fatal("fig11 empty")
 		}
@@ -141,7 +171,10 @@ func BenchmarkFig11DopeRegion(b *testing.B) {
 
 func BenchmarkFig12AttackAlgorithm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig12(opts(i))
+		r, err := experiments.Fig12(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Trace) == 0 {
 			b.Fatal("fig12 empty")
 		}
@@ -150,7 +183,10 @@ func BenchmarkFig12AttackAlgorithm(b *testing.B) {
 
 func BenchmarkFig15AntiDope(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig15(opts(i))
+		r, err := experiments.Fig15(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.PowerUnderAttack.Len() == 0 {
 			b.Fatal("fig15 empty")
 		}
@@ -159,7 +195,10 @@ func BenchmarkFig15AntiDope(b *testing.B) {
 
 func BenchmarkFig16MeanResponse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		g := experiments.RunEvalGrid(opts(i))
+		g, err := experiments.RunEvalGrid(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if g.Fig16() == nil {
 			b.Fatal("fig16 empty")
 		}
@@ -168,7 +207,10 @@ func BenchmarkFig16MeanResponse(b *testing.B) {
 
 func BenchmarkFig17TailLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		g := experiments.RunEvalGrid(opts(i))
+		g, err := experiments.RunEvalGrid(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if g.Fig17() == nil {
 			b.Fatal("fig17 empty")
 		}
@@ -177,7 +219,10 @@ func BenchmarkFig17TailLatency(b *testing.B) {
 
 func BenchmarkFig18Battery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig18(opts(i))
+		r, err := experiments.Fig18(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.SoC) == 0 {
 			b.Fatal("fig18 empty")
 		}
@@ -186,7 +231,10 @@ func BenchmarkFig18Battery(b *testing.B) {
 
 func BenchmarkFig19Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		g := experiments.RunEvalGrid(opts(i))
+		g, err := experiments.RunEvalGrid(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if g.Fig19() == nil {
 			b.Fatal("fig19 empty")
 		}
@@ -196,7 +244,10 @@ func BenchmarkFig19Energy(b *testing.B) {
 // BenchmarkAblation runs the Anti-DOPE design ablation (DESIGN.md).
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Ablation(opts(i))
+		r, err := experiments.Ablation(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.MeanRT) == 0 {
 			b.Fatal("ablation empty")
 		}
@@ -206,7 +257,10 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkOutage runs the breaker-trip experiment (Figure 1's motivation).
 func BenchmarkOutage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Outage(opts(i))
+		r, err := experiments.Outage(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Outages) == 0 {
 			b.Fatal("outage empty")
 		}
@@ -216,7 +270,10 @@ func BenchmarkOutage(b *testing.B) {
 // BenchmarkPulse runs the yo-yo attack stress.
 func BenchmarkPulse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Pulse(opts(i))
+		r, err := experiments.Pulse(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.P90) == 0 {
 			b.Fatal("pulse empty")
 		}
@@ -226,7 +283,10 @@ func BenchmarkPulse(b *testing.B) {
 // BenchmarkScale runs the rack-to-room scale-out sweep.
 func BenchmarkScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Scale(opts(i))
+		r, err := experiments.Scale(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Sizes) == 0 {
 			b.Fatal("scale empty")
 		}
@@ -236,7 +296,10 @@ func BenchmarkScale(b *testing.B) {
 // BenchmarkCapacity runs the SLA capacity planner per scheme.
 func BenchmarkCapacity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Capacity(opts(i))
+		r, err := experiments.Capacity(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.RPS) == 0 {
 			b.Fatal("capacity empty")
 		}
@@ -246,7 +309,10 @@ func BenchmarkCapacity(b *testing.B) {
 // BenchmarkDetection runs the power-telemetry detection-latency sweep.
 func BenchmarkDetection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Detection(opts(i))
+		r, err := experiments.Detection(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Delay) == 0 {
 			b.Fatal("detection empty")
 		}
@@ -256,7 +322,10 @@ func BenchmarkDetection(b *testing.B) {
 // BenchmarkThermal runs the cooling-attack experiment.
 func BenchmarkThermal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Thermal(opts(i))
+		r, err := experiments.Thermal(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.HotFrac) == 0 {
 			b.Fatal("thermal empty")
 		}
@@ -266,17 +335,50 @@ func BenchmarkThermal(b *testing.B) {
 // BenchmarkRobustness runs the multi-seed headline replication.
 func BenchmarkRobustness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Robustness(opts(i))
+		r, err := experiments.Robustness(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.MeanImpr) == 0 {
 			b.Fatal("robustness empty")
 		}
 	}
 }
 
+// BenchmarkAllQuick runs the entire quick suite twice per configuration —
+// once sequentially, once with the harness's default worker count — so a
+// single -bench run shows the parallel speedup. On a multi-core runner the
+// parallel case should finish at least ~2x faster at 4 workers; the printed
+// tables are byte-identical either way (see TestParallelEquivalence).
+func BenchmarkAllQuick(b *testing.B) {
+	configs := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		configs = append(configs, n)
+	}
+	for _, workers := range configs {
+		name := "sequential"
+		if workers != 1 {
+			name = fmt.Sprintf("parallel-%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := opts(i)
+				o.Parallel = workers
+				if err := experiments.All(o, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHeadline reproduces the abstract's 44% / 68.1% comparison.
 func BenchmarkHeadline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		g := experiments.RunEvalGrid(opts(i))
+		g, err := experiments.RunEvalGrid(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 		mean, p90, _ := g.Headline()
 		if mean <= 0 || p90 <= 0 {
 			b.Fatalf("headline regression: mean %.2f p90 %.2f", mean, p90)

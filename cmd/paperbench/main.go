@@ -7,92 +7,158 @@
 //	paperbench              # full-fidelity suite (minutes)
 //	paperbench -quick       # ~4x shorter windows (CI-grade)
 //	paperbench -fig 17      # a single figure
+//	paperbench -parallel 1  # force sequential execution (same output)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"antidope/internal/experiments"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink observation windows ~4x")
-		seed  = flag.Uint64("seed", 2019, "experiment seed")
-		fig   = flag.Int("fig", 0, "run a single figure (3..19); 0 = all")
-		extra = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|thermal")
+		quick    = flag.Bool("quick", false, "shrink observation windows ~4x")
+		seed     = flag.Uint64("seed", 2019, "experiment seed")
+		fig      = flag.Int("fig", 0, "run a single figure (3..19); 0 = all")
+		extra    = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|thermal")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (output is identical at any setting; 1 = sequential)")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed, Quick: *quick}
+	o := experiments.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
 	w := os.Stdout
 
+	// check aborts on an experiment error; the harness already retried each
+	// failing run once, so whatever is left is a real configuration problem.
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *extra != "" {
+		var table *experiments.Table
+		var err error
 		switch *extra {
 		case "ablation":
-			experiments.Ablation(o).Table.Fprint(w)
+			var r *experiments.AblationResult
+			r, err = experiments.Ablation(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "outage":
-			experiments.Outage(o).Table.Fprint(w)
+			var r *experiments.OutageResult
+			r, err = experiments.Outage(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "pulse":
-			experiments.Pulse(o).Table.Fprint(w)
+			var r *experiments.PulseResult
+			r, err = experiments.Pulse(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "scale":
-			experiments.Scale(o).Table.Fprint(w)
+			var r *experiments.ScaleResult
+			r, err = experiments.Scale(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "capacity":
-			experiments.Capacity(o).Table.Fprint(w)
+			var r *experiments.CapacityResult
+			r, err = experiments.Capacity(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "detection":
-			experiments.Detection(o).Table.Fprint(w)
+			var r *experiments.DetectionResult
+			r, err = experiments.Detection(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "robustness":
-			experiments.Robustness(o).Table.Fprint(w)
+			var r *experiments.RobustnessResult
+			r, err = experiments.Robustness(o)
+			if err == nil {
+				table = r.Table
+			}
 		case "thermal":
-			experiments.Thermal(o).Table.Fprint(w)
+			var r *experiments.ThermalResult
+			r, err = experiments.Thermal(o)
+			if err == nil {
+				table = r.Table
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "paperbench: unknown extra experiment %q\n", *extra)
 			os.Exit(1)
 		}
+		check(err)
+		table.Fprint(w)
 		return
 	}
 
 	if *fig == 0 {
-		experiments.All(o, w)
+		check(experiments.All(o, w))
 		return
 	}
 	switch *fig {
 	case 3:
-		r := experiments.Fig3(o)
+		r, err := experiments.Fig3(o)
+		check(err)
 		r.Table.Fprint(w)
 		fmt.Fprintf(w, "ranking: %v\n", r.Ranking)
 	case 4:
-		r := experiments.Fig4(o)
+		r, err := experiments.Fig4(o)
+		check(err)
 		r.TableA.Fprint(w)
 		r.TableB.Fprint(w)
 	case 5:
-		r := experiments.Fig5(o)
+		r, err := experiments.Fig5(o)
+		check(err)
 		r.TableA.Fprint(w)
 		r.TableB.Fprint(w)
 	case 6:
-		r := experiments.Fig6(o)
+		r, err := experiments.Fig6(o)
+		check(err)
 		r.TableA.Fprint(w)
 		r.TableB.Fprint(w)
 	case 7:
-		experiments.Fig7(o).Table.Fprint(w)
+		r, err := experiments.Fig7(o)
+		check(err)
+		r.Table.Fprint(w)
 	case 8:
-		experiments.Fig8(o).Table.Fprint(w)
+		r, err := experiments.Fig8(o)
+		check(err)
+		r.Table.Fprint(w)
 	case 9:
-		experiments.Fig9(o).Table.Fprint(w)
+		r, err := experiments.Fig9(o)
+		check(err)
+		r.Table.Fprint(w)
 	case 10:
-		experiments.Fig10(o).Table.Fprint(w)
+		r, err := experiments.Fig10(o)
+		check(err)
+		r.Table.Fprint(w)
 	case 11:
-		experiments.Fig11(o).Table.Fprint(w)
+		r, err := experiments.Fig11(o)
+		check(err)
+		r.Table.Fprint(w)
 	case 12:
-		experiments.Fig12(o).Table.Fprint(w)
+		r, err := experiments.Fig12(o)
+		check(err)
+		r.Table.Fprint(w)
 	case 15:
-		r := experiments.Fig15(o)
+		r, err := experiments.Fig15(o)
+		check(err)
 		r.TableA.Fprint(w)
 		r.TableB.Fprint(w)
 	case 16, 17, 19:
-		grid := experiments.RunEvalGrid(o)
+		grid, err := experiments.RunEvalGrid(o)
+		check(err)
 		switch *fig {
 		case 16:
 			grid.Fig16().Fprint(w)
@@ -102,7 +168,9 @@ func main() {
 			grid.Fig19().Fprint(w)
 		}
 	case 18:
-		experiments.Fig18(o).Table.Fprint(w)
+		r, err := experiments.Fig18(o)
+		check(err)
+		r.Table.Fprint(w)
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: no experiment for figure %d (figures 1/2/13/14 are diagrams)\n", *fig)
 		os.Exit(1)

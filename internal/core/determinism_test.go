@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"antidope/internal/attack"
@@ -74,5 +75,48 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 		t.Fatalf("replay diverged at byte %d:\n run1: …%s…\n run2: …%s…",
 			i, first[lo:end(first)], second[lo:end(second)])
+	}
+}
+
+// TestConcurrentRunsAreIndependent backs RunOnce's documented concurrency
+// guarantee, which internal/harness relies on: the same scenario run from
+// many goroutines at once (each with its own Config and scheme instance, as
+// the contract requires) must produce the result a lone sequential run
+// produces. Run under -race this also proves the simulations share no state.
+func TestConcurrentRunsAreIndependent(t *testing.T) {
+	serialize := func(res *core.Result) []byte {
+		var buf bytes.Buffer
+		if err := report.JSON(&buf, res, 200); err != nil {
+			t.Errorf("serialize: %v", err)
+		}
+		res.Fprint(&buf)
+		return buf.Bytes()
+	}
+	ref, err := core.RunOnce(replayConfig())
+	if err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+	want := serialize(ref)
+
+	const goroutines = 8
+	got := make([][]byte, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := core.RunOnce(replayConfig())
+			if err != nil {
+				t.Errorf("goroutine %d: RunOnce: %v", i, err)
+				return
+			}
+			got[i] = serialize(res)
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if !bytes.Equal(g, want) {
+			t.Fatalf("goroutine %d diverged from the sequential run", i)
+		}
 	}
 }

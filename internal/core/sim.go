@@ -532,6 +532,14 @@ func (s *Simulation) Cluster() *cluster.Cluster { return s.cl }
 func (s *Simulation) Firewall() *firewall.Firewall { return s.fw }
 
 // RunOnce is the package-level convenience: assemble and run in one call.
+//
+// RunOnce is safe to call from multiple goroutines at once as long as the
+// configurations do not share mutable state: the simulation holds no
+// package-level mutable variables, copies the source and attack specs by
+// value during assembly, and seeds its RNG from cfg.Seed alone. The two
+// sharing hazards are the caller's: cfg.Scheme instances are stateful and
+// must be fresh per call, and spec slices must not be mutated while a run is
+// in flight. internal/harness builds on this guarantee.
 func RunOnce(cfg Config) (*Result, error) {
 	sim, err := New(cfg)
 	if err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"antidope/internal/cluster"
 	"antidope/internal/defense"
+	"antidope/internal/harness"
 )
 
 // AblationResult dissects Anti-DOPE's design: each variant removes one
@@ -50,7 +51,7 @@ func ablationVariants() []struct {
 
 // Ablation runs every variant against the steady three-class DOPE
 // injection at Medium-PB.
-func Ablation(o Options) *AblationResult {
+func Ablation(o Options) (*AblationResult, error) {
 	horizon := o.horizon(300)
 	out := &AblationResult{
 		MeanRT:     make(map[string]float64),
@@ -64,10 +65,23 @@ func Ablation(o Options) *AblationResult {
 		Header: []string{"variant", "meanRT(ms)", "p90(ms)", "avail",
 			"slotsOver", "collateral slots"},
 	}
-	for _, v := range ablationVariants() {
-		scheme := v.build()
-		res := runEval(o, "ablation/"+v.name, scheme, cluster.MediumPB,
+	variants := ablationVariants()
+	// Scheme instances are kept alongside the jobs: the collateral counter
+	// lives on the scheme, which is safe to read once the pool has drained.
+	schemes := make([]defense.Scheme, len(variants))
+	jobs := make([]harness.Job, len(variants))
+	for i, v := range variants {
+		schemes[i] = v.build()
+		jobs[i] = evalJob(o, "ablation/"+v.name, schemes[i], cluster.MediumPB,
 			evalAttackSpecs(10, horizon), horizon)
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		scheme := schemes[i]
+		res := results[i]
 		out.MeanRT[v.name] = res.MeanRT()
 		out.P90RT[v.name] = res.TailRT(90)
 		out.SlotsOver[v.name] = res.FracSlotsOverBudget
@@ -85,7 +99,7 @@ func Ablation(o Options) *AblationResult {
 		"variant to battery-bridged capping. The queue trim shields the mean",
 		"from collateral on suspect nodes; battery/delay shape power",
 		"transients, not steady-state latency.")
-	return out
+	return out, nil
 }
 
 // PDFIsTheLever reports whether removing PDF degrades the p90 more than

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"antidope/internal/cluster"
 	"antidope/internal/sla"
 )
@@ -18,7 +20,9 @@ type CapacityResult struct {
 }
 
 // Capacity runs the planner at Medium-PB against the steady DOPE mix.
-func Capacity(o Options) *CapacityResult {
+// Each binary search is internally sequential (probe N+1 depends on probe
+// N's verdict), so the parallelism is across the five searches instead.
+func Capacity(o Options) (*CapacityResult, error) {
 	horizon := o.horizon(120)
 	objectives := sla.Default()
 	probes := 6
@@ -32,34 +36,49 @@ func Capacity(o Options) *CapacityResult {
 		Header: []string{"scheme", "capacity (req/s)", "fraction of no-attack capacity"},
 	}
 
-	// No-attack reference with plain capping (all schemes idle without an
-	// attack; any of them would do).
-	baseTemplate := evalConfig(o, "capacity/baseline", schemeByName("capping"),
-		cluster.MediumPB, nil, horizon)
-	baseline, err := sla.MaxLegitRPS(baseTemplate, objectives, 50, 3000, probes)
-	if err != nil {
-		panic(err)
+	names := []string{"Capping", "Shaving", "Token", "Anti-DOPE"}
+	// Slot 0 is the no-attack reference with plain capping (all schemes idle
+	// without an attack; any of them would do), slots 1..4 the schemes.
+	rps := make([]float64, len(names)+1)
+	errs := make([]error, len(names)+1)
+	fns := make([]func(), len(names)+1)
+	fns[0] = func() {
+		template := evalConfig(o, "capacity/baseline", schemeByName("capping"),
+			cluster.MediumPB, nil, horizon)
+		rps[0], errs[0] = sla.MaxLegitRPS(template, objectives, 50, 3000, probes)
 	}
-	out.BaselineRPS = baseline
-
-	for _, name := range []string{"Capping", "Shaving", "Token", "Anti-DOPE"} {
-		template := evalConfig(o, "capacity/"+name, schemeByName(name),
-			cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
-		rps, err := sla.MaxLegitRPS(template, objectives, 20, 3000, probes)
-		if err != nil {
-			panic(err)
+	for i, name := range names {
+		i, name := i, name
+		fns[i+1] = func() {
+			template := evalConfig(o, "capacity/"+name, schemeByName(name),
+				cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
+			rps[i+1], errs[i+1] = sla.MaxLegitRPS(template, objectives, 20, 3000, probes)
 		}
-		out.RPS[name] = rps
+	}
+	o.pool().Go(fns)
+	if errs[0] != nil {
+		return nil, fmt.Errorf("capacity/baseline: %w", errs[0])
+	}
+	for i, name := range names {
+		if errs[i+1] != nil {
+			return nil, fmt.Errorf("capacity/%s: %w", name, errs[i+1])
+		}
+	}
+
+	baseline := rps[0]
+	out.BaselineRPS = baseline
+	for i, name := range names {
+		out.RPS[name] = rps[i+1]
 		frac := 0.0
 		if baseline > 0 {
-			frac = rps / baseline
+			frac = rps[i+1] / baseline
 		}
-		out.Table.AddRow(name, f1(rps), pct(frac))
+		out.Table.AddRow(name, f1(rps[i+1]), pct(frac))
 	}
 	out.Table.Notes = append(out.Table.Notes,
 		"the DOPE injection costs every scheme capacity; isolation preserves",
 		"far more of it than blind throttling.")
-	return out
+	return out, nil
 }
 
 // AntiDopePreservesMostCapacity reports whether Anti-DOPE retains at least

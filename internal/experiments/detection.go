@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"antidope/internal/attack"
-	"antidope/internal/core"
 	"antidope/internal/detect"
+	"antidope/internal/harness"
 	"antidope/internal/workload"
 )
 
@@ -43,7 +43,7 @@ func detectionAttacks(start, horizon float64) map[string][]attack.Spec {
 
 // Detection runs each scenario undefended at Normal-PB (pure observation)
 // and replays the power series through the detectors.
-func Detection(o Options) *DetectionResult {
+func Detection(o Options) (*DetectionResult, error) {
 	horizon := o.horizon(400)
 	const start = 60.0
 	out := &DetectionResult{Delay: make(map[string]map[string]float64)}
@@ -54,13 +54,18 @@ func Detection(o Options) *DetectionResult {
 
 	names := []string{"Colla-Filt flood (400rps)", "K-means DOPE (55rps)", "Volume flood (5000rps)"}
 	scenarios := detectionAttacks(start, horizon)
+	var jobs []harness.Job
 	for _, name := range names {
 		cfg := baseConfig(o, "detect/"+name, horizon)
 		cfg.Attacks = scenarios[name]
-		res, err := core.RunOnce(cfg)
-		if err != nil {
-			panic(err)
-		}
+		jobs = append(jobs, harness.Job{Label: "detect/" + name, Config: cfg})
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res := results[i]
 		var ts, ws []float64
 		var preMean float64
 		preN := 0
@@ -104,7 +109,7 @@ func Detection(o Options) *DetectionResult {
 		"rack; the budget-level DOPE shift needs a drift detector (CUSUM).",
 		"Power-side alerting complements Anti-DOPE's mitigation: the attack",
 		"is invisible in traffic but not in watts.")
-	return out
+	return out, nil
 }
 
 // CUSUMSeesDope reports whether CUSUM caught the budget-level DOPE scenario

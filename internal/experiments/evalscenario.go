@@ -6,6 +6,7 @@ import (
 	"antidope/internal/core"
 	"antidope/internal/defense"
 	"antidope/internal/firewall"
+	"antidope/internal/harness"
 	"antidope/internal/netlb"
 	"antidope/internal/workload"
 )
@@ -106,15 +107,11 @@ func evalConfig(o Options, label string, scheme defense.Scheme,
 	return cfg
 }
 
-// runEval executes an evaluation run with the multi-endpoint legitimate mix
+// evalJob builds an evaluation run with the multi-endpoint legitimate mix
 // injected directly (bypassing the single-class NormalRPS shortcut).
-func runEval(o Options, label string, scheme defense.Scheme,
-	budget cluster.BudgetLevel, attacks []attack.Spec, horizon float64) *core.Result {
+func evalJob(o Options, label string, scheme defense.Scheme,
+	budget cluster.BudgetLevel, attacks []attack.Spec, horizon float64) harness.Job {
 	cfg := evalConfig(o, label, scheme, budget, attacks, horizon)
 	cfg.ExtraSources = evalLegitSources()
-	res, err := core.RunOnce(cfg)
-	if err != nil {
-		panic("experiments: " + label + ": " + err.Error())
-	}
-	return res
+	return harness.Job{Label: label, Config: cfg}
 }

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"antidope/internal/core"
+	"antidope/internal/harness"
 )
 
 // Options tunes how heavy the experiment runs are.
@@ -19,6 +22,11 @@ type Options struct {
 	// Quick shrinks observation windows (~4x) so the full suite stays
 	// test-friendly; the shapes survive, the confidence intervals widen.
 	Quick bool
+	// Parallel is the harness worker count: 0 selects one worker per
+	// available CPU, 1 reproduces strictly sequential execution. Every
+	// run's seed derives from its label, so tables are byte-identical at
+	// any setting (the equivalence test asserts this).
+	Parallel int
 }
 
 // DefaultOptions is the full-fidelity setting used for EXPERIMENTS.md.
@@ -44,6 +52,33 @@ func (o Options) seedFor(label string) uint64 {
 		h *= 0x100000001b3
 	}
 	return h
+}
+
+// pool builds the worker pool every runner submits its jobs to.
+func (o Options) pool() *harness.Pool { return harness.New(o.Parallel) }
+
+// runJobs executes the jobs on the options' pool and returns the bare
+// results in submission order. A non-nil error joins every job that still
+// failed after the harness's retry; results are unusable in that case.
+func runJobs(o Options, jobs []harness.Job) ([]*core.Result, error) {
+	rr := o.pool().Run(jobs)
+	if err := harness.Errs(rr); err != nil {
+		return nil, err
+	}
+	return harness.Results(rr), nil
+}
+
+// resultCursor returns an iterator over harness results. Figures build
+// their job list and then consume results through the cursor in the exact
+// submission order, which keeps the printed tables byte-identical to the
+// old inline loops.
+func resultCursor(results []*core.Result) func() *core.Result {
+	i := 0
+	return func() *core.Result {
+		r := results[i]
+		i++
+		return r
+	}
 }
 
 // Table is a printable grid, the common shape of every figure's data.

@@ -46,7 +46,10 @@ func TestOptionsHorizonAndSeeds(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	r := Fig3(quick())
+	r, err := Fig3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Ranking) < 6 {
 		t.Fatalf("ranking %v", r.Ranking)
 	}
@@ -59,7 +62,10 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	r := Fig4(quick())
+	r, err := Fig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.MonotoneInRate(3) {
 		t.Fatalf("power not monotone in rate: %v", r.MeanPower)
 	}
@@ -69,7 +75,10 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	r := Fig5(quick())
+	r, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.CollaFiltRightmost() {
 		t.Fatalf("Colla-Filt not rightmost: %v", r.MeanPowerW)
 	}
@@ -82,7 +91,10 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	r := Fig6(quick())
+	r, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.KMeansDeepestCut() {
 		t.Fatalf("K-means not deepest cut: %v", r.At1000)
 	}
@@ -92,7 +104,10 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	r := Fig7(quick())
+	r, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	mb, pb := r.BlowupPastKnee()
 	if mb < 2 {
 		t.Fatalf("mean blowup %.2fx too small for a power-starved rack", mb)
@@ -103,21 +118,30 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r := Fig8(quick())
+	r, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.HeavyTypesDegradeMost() {
 		t.Fatalf("heavy types did not degrade most: %v", r.Slowdown)
 	}
 }
 
 func TestFig9Shape(t *testing.T) {
-	r := Fig9(quick())
+	r, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.AvailabilityDegradesWithBudget() {
 		t.Fatalf("availability did not degrade: %v", r.Availability)
 	}
 }
 
 func TestFig10Shape(t *testing.T) {
-	r := Fig10(quick())
+	r, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.FirewallCutsMedianPower() {
 		t.Fatal("firewall did not cut median power")
 	}
@@ -127,7 +151,10 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	r := Fig11(quick())
+	r, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.RegionExists() {
 		t.Fatalf("no DOPE region found: %v vs capacity %g",
 			r.MinViolatingRPS, r.DetectCapacityRPS)
@@ -135,7 +162,10 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	r := Fig12(quick())
+	r, err := Fig12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Trace) < 5 {
 		t.Fatalf("attack trace too short: %d epochs", len(r.Trace))
 	}
@@ -145,7 +175,10 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
-	r := Fig15(quick())
+	r, err := Fig15(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.PowerHeld() {
 		t.Fatal("Anti-DOPE failed to hold the budget")
 	}
@@ -156,7 +189,10 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestEvalGridHeadline(t *testing.T) {
-	g := RunEvalGrid(quick())
+	g, err := RunEvalGrid(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	meanImpr, p90Impr, _ := g.Headline()
 	// The paper reports 44% / 68.1%. The shortened windows shift absolute
 	// numbers; the defense must still clearly win on both metrics.
@@ -179,7 +215,10 @@ func TestEvalGridHeadline(t *testing.T) {
 }
 
 func TestFig18Shape(t *testing.T) {
-	r := Fig18(quick())
+	r, err := Fig18(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.AntiDopeKeepsReserve() {
 		t.Fatalf("Anti-DOPE reserve %.3f <= Shaving %.3f",
 			r.MinSoC["Anti-DOPE"], r.MinSoC["Shaving"])
@@ -193,7 +232,10 @@ func TestFig18Shape(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	r := Ablation(quick())
+	r, err := Ablation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.FullHoldsBudget() {
 		t.Fatalf("full framework left %.1f%% slots over budget", 100*r.SlotsOver["full"])
 	}
@@ -208,7 +250,10 @@ func TestAblationShape(t *testing.T) {
 }
 
 func TestOutageShape(t *testing.T) {
-	r := Outage(quick())
+	r, err := Outage(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.UndefendedTrips() {
 		t.Fatalf("outage pattern wrong: %v", r.Outages)
 	}
@@ -218,7 +263,10 @@ func TestOutageShape(t *testing.T) {
 }
 
 func TestScaleShape(t *testing.T) {
-	r := Scale(quick())
+	r, err := Scale(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.InvariantAcrossScale() {
 		t.Fatalf("scale invariant broken: undefended %v, antidope-over %v, p90 cap=%v ad=%v",
 			r.UndefendedOver, r.AntiDopeOver, r.CappingP90, r.AntiDopeP90)
@@ -226,7 +274,10 @@ func TestScaleShape(t *testing.T) {
 }
 
 func TestPulseShape(t *testing.T) {
-	r := Pulse(quick())
+	r, err := Pulse(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.ShavingWearsBattery() {
 		t.Fatalf("pulsing did not wear Shaving's battery more: cycles %v", r.Cycles)
 	}
@@ -239,7 +290,10 @@ func TestPulseShape(t *testing.T) {
 }
 
 func TestCapacityShape(t *testing.T) {
-	r := Capacity(quick())
+	r, err := Capacity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.BaselineRPS <= 0 {
 		t.Fatal("no baseline capacity found")
 	}
@@ -254,7 +308,10 @@ func TestCapacityShape(t *testing.T) {
 }
 
 func TestDetectionShape(t *testing.T) {
-	r := Detection(quick())
+	r, err := Detection(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.CUSUMSeesDope() {
 		t.Fatalf("detection pattern wrong: %v", r.Delay)
 	}
@@ -268,14 +325,20 @@ func TestDetectionShape(t *testing.T) {
 }
 
 func TestRobustnessShape(t *testing.T) {
-	r := Robustness(quick())
+	r, err := Robustness(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.AlwaysWins() {
 		t.Fatalf("anti-dope lost on some seed: mean %v p90 %v", r.MeanImpr, r.P90Impr)
 	}
 }
 
 func TestThermalShape(t *testing.T) {
-	r := Thermal(quick())
+	r, err := Thermal(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.ThermalThreatExists() {
 		t.Fatalf("no thermal threat: %v", r.HotFrac)
 	}

@@ -5,7 +5,7 @@ import (
 
 	"antidope/internal/attack"
 	"antidope/internal/cluster"
-	"antidope/internal/core"
+	"antidope/internal/harness"
 	"antidope/internal/stats"
 )
 
@@ -24,7 +24,7 @@ type Fig3Result struct {
 
 // Fig3 runs every attack family of the catalog against the Section 3 rack
 // (Normal-PB, no firewall — raw power observation).
-func Fig3(o Options) *Fig3Result {
+func Fig3(o Options) (*Fig3Result, error) {
 	horizon := o.horizon(600)
 	out := &Fig3Result{
 		Table:  &Table{Title: "Figure 3: power profile of typical cyber-attacks"},
@@ -38,15 +38,22 @@ func Fig3(o Options) *Fig3Result {
 	}
 	var scores []scored
 
-	for _, spec := range attack.Catalog() {
+	catalog := attack.Catalog()
+	var jobs []harness.Job
+	for _, spec := range catalog {
 		spec.Duration = horizon - 5
 		spec.Start = 5
 		cfg := baseConfig(o, "fig3/"+spec.Name, horizon)
 		cfg.Attacks = []attack.Spec{spec}
-		res, err := core.RunOnce(cfg)
-		if err != nil {
-			panic(err)
-		}
+		jobs = append(jobs, harness.Job{Label: "fig3/" + spec.Name, Config: cfg})
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, spec := range catalog {
+		res := results[i]
 		sum := res.Power.Summary()
 		out.Series[spec.Name] = res.Power.Downsample(60)
 		scores = append(scores, scored{spec.Name, sum.Mean()})
@@ -62,7 +69,7 @@ func Fig3(o Options) *Fig3Result {
 	out.Table.Notes = append(out.Table.Notes,
 		"paper: application-layer floods (HTTP/DNS) form the high power band;",
 		"volumetric floods (SYN/UDP/ICMP) the medium/low band; Slowloris lowest.")
-	return out
+	return out, nil
 }
 
 // bandOf classifies a mean draw into the paper's high/medium/low bands

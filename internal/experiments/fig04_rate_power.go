@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"antidope/internal/cluster"
+	"antidope/internal/harness"
 	"antidope/internal/stats"
 	"antidope/internal/workload"
 )
@@ -28,7 +29,7 @@ var Fig4Rates = []float64{10, 25, 50, 100, 200, 400, 700, 1000}
 var Fig4CDFRates = []float64{10, 100, 1000}
 
 // Fig4 runs the sweep on the unprotected Normal-PB rack.
-func Fig4(o Options) *Fig4Result {
+func Fig4(o Options) (*Fig4Result, error) {
 	horizon := o.horizon(240)
 	rates := Fig4Rates
 	if o.Quick {
@@ -40,6 +41,22 @@ func Fig4(o Options) *Fig4Result {
 		CDFs:      make(map[float64]stats.CDF),
 	}
 
+	var jobs []harness.Job
+	for _, class := range workload.VictimClasses() {
+		for _, rate := range rates {
+			label := fmt.Sprintf("fig4a/%v/%g", class, rate)
+			jobs = append(jobs, floodJob(o, label, class, rate, cluster.NormalPB, nil, false, horizon))
+		}
+	}
+	for _, rate := range Fig4CDFRates {
+		jobs = append(jobs, mixedFloodJob(o, fmt.Sprintf("fig4b/%g", rate), rate, horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
+
 	out.TableA = &Table{Title: "Figure 4-a: mean power (W) vs traffic rate per service"}
 	header := []string{"service"}
 	for _, r := range rates {
@@ -49,10 +66,8 @@ func Fig4(o Options) *Fig4Result {
 
 	for _, class := range workload.VictimClasses() {
 		row := []string{class.String()}
-		for _, rate := range rates {
-			label := fmt.Sprintf("fig4a/%v/%g", class, rate)
-			res := runFlood(o, label, class, rate, cluster.NormalPB, nil, false, horizon)
-			mean := res.Power.Summary().Mean()
+		for range rates {
+			mean := next().Power.Summary().Mean()
 			out.MeanPower[class] = append(out.MeanPower[class], mean)
 			row = append(row, f1(mean))
 		}
@@ -68,8 +83,7 @@ func Fig4(o Options) *Fig4Result {
 	}
 	nameplate := 4 * cluster.DefaultConfig().Model.Nameplate
 	for _, rate := range Fig4CDFRates {
-		res := runMixedFlood(o, fmt.Sprintf("fig4b/%g", rate), rate, horizon)
-		sample := res.Power.Sample()
+		sample := next().Power.Sample()
 		out.CDFs[rate] = sample.CDF(50)
 		out.TableB.AddRow(fmt.Sprintf("%g", rate),
 			f1(sample.Percentile(10)), f1(sample.Percentile(50)),
@@ -78,7 +92,7 @@ func Fig4(o Options) *Fig4Result {
 	}
 	out.TableB.Notes = append(out.TableB.Notes,
 		"paper: higher volume gives higher and lower-variance power (steeper CDF).")
-	return out
+	return out, nil
 }
 
 // MonotoneInRate reports whether each service's mean power is

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"antidope/internal/cluster"
+	"antidope/internal/harness"
 	"antidope/internal/stats"
 	"antidope/internal/workload"
 )
@@ -30,7 +31,7 @@ func Fig5Classes() []workload.Class {
 }
 
 // Fig5 runs each traffic type at 100 req/s on the unprotected rack.
-func Fig5(o Options) *Fig5Result {
+func Fig5(o Options) (*Fig5Result, error) {
 	horizon := o.horizon(600)
 	const rate = 100
 	ccfg := cluster.DefaultConfig()
@@ -51,9 +52,18 @@ func Fig5(o Options) *Fig5Result {
 		Header: []string{"type", "J/request", "meanW"},
 	}
 
+	var jobs []harness.Job
 	for _, class := range Fig5Classes() {
-		res := runFlood(o, "fig5/"+class.String(), class, rate,
-			cluster.NormalPB, nil, false, horizon)
+		jobs = append(jobs, floodJob(o, "fig5/"+class.String(), class, rate,
+			cluster.NormalPB, nil, false, horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, class := range Fig5Classes() {
+		res := results[i]
 		sample := res.Power.Sample()
 		sum := res.Power.Summary()
 		out.CDFs[class] = sample.CDF(50)
@@ -78,7 +88,7 @@ func Fig5(o Options) *Fig5Result {
 	out.TableB.Notes = append(out.TableB.Notes,
 		"paper: K-means consumes the most power per request; volume-based",
 		"traffic has the lowest power intensity.")
-	return out
+	return out, nil
 }
 
 // CollaFiltRightmost reports whether Colla-Filt has the highest mean power

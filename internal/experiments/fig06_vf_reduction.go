@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"antidope/internal/cluster"
+	"antidope/internal/harness"
 	"antidope/internal/workload"
 )
 
@@ -27,7 +28,7 @@ type Fig6Result struct {
 var Fig6Rates = []float64{25, 50, 100, 200, 400, 700, 1000}
 
 // Fig6 runs the sweep with the Capping scheme at Medium-PB.
-func Fig6(o Options) *Fig6Result {
+func Fig6(o Options) (*Fig6Result, error) {
 	horizon := o.horizon(240)
 	rates := Fig6Rates
 	if o.Quick {
@@ -45,13 +46,24 @@ func Fig6(o Options) *Fig6Result {
 	}
 	out.TableA.Header = header
 
+	var jobs []harness.Job
+	for _, class := range workload.VictimClasses() {
+		for _, rate := range rates {
+			label := fmt.Sprintf("fig6/%v/%g", class, rate)
+			jobs = append(jobs, floodJob(o, label, class, rate, cluster.MediumPB,
+				schemeByName("capping"), false, horizon))
+		}
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
+
 	for _, class := range workload.VictimClasses() {
 		row := []string{class.String()}
-		for i, rate := range rates {
-			label := fmt.Sprintf("fig6/%v/%g", class, rate)
-			res := runFlood(o, label, class, rate, cluster.MediumPB,
-				schemeByName("capping"), false, horizon)
-			vf := res.VFRed.MeanOverTime()
+		for i := range rates {
+			vf := next().VFRed.MeanOverTime()
 			out.VFReduction[class] = append(out.VFReduction[class], vf)
 			row = append(row, f3(vf))
 			if i == len(rates)-1 {
@@ -74,7 +86,7 @@ func Fig6(o Options) *Fig6Result {
 	out.TableB.Notes = append(out.TableB.Notes,
 		"paper: K-means induces the deepest V/F cut — its power is least",
 		"sensitive to frequency, so capping must dig further.")
-	return out
+	return out, nil
 }
 
 // TripRate returns the lowest swept rate at which the class's V/F reduction

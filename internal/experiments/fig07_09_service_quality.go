@@ -5,6 +5,7 @@ import (
 
 	"antidope/internal/cluster"
 	"antidope/internal/core"
+	"antidope/internal/harness"
 	"antidope/internal/workload"
 )
 
@@ -27,7 +28,7 @@ type Fig7Result struct {
 var Fig7Rates = []float64{0, 50, 100, 200, 400, 700, 1000}
 
 // Fig7 runs the sweep with a Colla-Filt flood.
-func Fig7(o Options) *Fig7Result {
+func Fig7(o Options) (*Fig7Result, error) {
 	horizon := o.horizon(240)
 	rates := Fig7Rates
 	if o.Quick {
@@ -39,11 +40,20 @@ func Fig7(o Options) *Fig7Result {
 		Header: []string{"rate", "meanRT(ms)", "p90(ms)", "mean blowup", "p90 blowup"},
 	}
 
+	var jobs []harness.Job
+	for _, rate := range rates {
+		label := fmt.Sprintf("fig7/%g", rate)
+		jobs = append(jobs, floodJob(o, label, workload.CollaFilt, rate, cluster.LowPB,
+			schemeByName("capping"), false, horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	var baseMean, baseP90 float64
 	for i, rate := range rates {
-		label := fmt.Sprintf("fig7/%g", rate)
-		res := runFlood(o, label, workload.CollaFilt, rate, cluster.LowPB,
-			schemeByName("capping"), false, horizon)
+		res := results[i]
 		mean := res.MeanRT()
 		p90 := res.TailRT(90)
 		if i == 0 {
@@ -64,7 +74,7 @@ func Fig7(o Options) *Fig7Result {
 	}
 	out.Table.Notes = append(out.Table.Notes,
 		"paper: past ~100 req/s the mean RT grows ~7.4x and the p90 ~8.9x.")
-	return out
+	return out, nil
 }
 
 // BlowupPastKnee returns the mean and p90 blowup at the highest swept rate.
@@ -87,7 +97,7 @@ type Fig8Result struct {
 }
 
 // Fig8 measures the attack class's own service time at both budgets.
-func Fig8(o Options) *Fig8Result {
+func Fig8(o Options) (*Fig8Result, error) {
 	horizon := o.horizon(180)
 	const rate = 400
 	out := &Fig8Result{Slowdown: make(map[workload.Class]float64)}
@@ -95,11 +105,21 @@ func Fig8(o Options) *Fig8Result {
 		Title:  "Figure 8: per-type service time under power limits (400 req/s)",
 		Header: []string{"type", "RT@Normal-PB(ms)", "RT@Medium-PB(ms)", "slowdown"},
 	}
+	var jobs []harness.Job
 	for _, class := range workload.VictimClasses() {
-		base := runFlood(o, "fig8base/"+class.String(), class, rate,
-			cluster.NormalPB, schemeByName("capping"), false, horizon)
-		limited := runFlood(o, "fig8lim/"+class.String(), class, rate,
-			cluster.MediumPB, schemeByName("capping"), false, horizon)
+		jobs = append(jobs, floodJob(o, "fig8base/"+class.String(), class, rate,
+			cluster.NormalPB, schemeByName("capping"), false, horizon))
+		jobs = append(jobs, floodJob(o, "fig8lim/"+class.String(), class, rate,
+			cluster.MediumPB, schemeByName("capping"), false, horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
+	for _, class := range workload.VictimClasses() {
+		base := next()
+		limited := next()
 		baseRT := classRT(base, class)
 		limRT := classRT(limited, class)
 		slow := 1.0
@@ -111,7 +131,7 @@ func Fig8(o Options) *Fig8Result {
 	}
 	out.Table.Notes = append(out.Table.Notes,
 		"paper: Colla-Filt and K-means arouse the most serious degradation.")
-	return out
+	return out, nil
 }
 
 func classRT(res *core.Result, class workload.Class) float64 {
@@ -154,7 +174,7 @@ type Fig9Result struct {
 
 // Fig9 floods the rack at every budget level and measures legitimate
 // availability (completed/offered).
-func Fig9(o Options) *Fig9Result {
+func Fig9(o Options) (*Fig9Result, error) {
 	horizon := o.horizon(180)
 	const rate = 700
 	out := &Fig9Result{Availability: make(map[cluster.BudgetLevel]float64)}
@@ -162,9 +182,17 @@ func Fig9(o Options) *Fig9Result {
 		Title:  "Figure 9: service availability vs power budget (Colla-Filt flood @700 req/s)",
 		Header: []string{"budget", "availability", "legit dropped"},
 	}
+	var jobs []harness.Job
 	for _, budget := range cluster.AllBudgetLevels() {
-		res := runFlood(o, "fig9/"+budget.String(), workload.CollaFilt, rate,
-			budget, schemeByName("capping"), false, horizon)
+		jobs = append(jobs, floodJob(o, "fig9/"+budget.String(), workload.CollaFilt, rate,
+			budget, schemeByName("capping"), false, horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, budget := range cluster.AllBudgetLevels() {
+		res := results[i]
 		av := res.Availability()
 		out.Availability[budget] = av
 		out.Table.AddRow(budget.String(), f3(av), fmt.Sprintf("%d", res.DroppedLegit))
@@ -172,7 +200,7 @@ func Fig9(o Options) *Fig9Result {
 	out.Table.Notes = append(out.Table.Notes,
 		"paper: aggressive oversubscription causes severe availability decline",
 		"under attack-driven power reduction.")
-	return out
+	return out, nil
 }
 
 // AvailabilityDegradesWithBudget reports whether availability at Low-PB is

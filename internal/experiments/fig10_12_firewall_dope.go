@@ -7,6 +7,7 @@ import (
 	"antidope/internal/cluster"
 	"antidope/internal/core"
 	"antidope/internal/firewall"
+	"antidope/internal/harness"
 	"antidope/internal/stats"
 	"antidope/internal/workload"
 )
@@ -26,7 +27,7 @@ type Fig10Result struct {
 // Fig10 runs each victim class at 1000 req/s from only 4 agents (250
 // req/s/agent — well above the deflate threshold) with the firewall off and
 // on.
-func Fig10(o Options) *Fig10Result {
+func Fig10(o Options) (*Fig10Result, error) {
 	horizon := o.horizon(300)
 	out := &Fig10Result{
 		With:     make(map[workload.Class]stats.CDF),
@@ -37,26 +38,31 @@ func Fig10(o Options) *Fig10Result {
 		Title:  "Figure 10: power with and without firewall (1000 req/s, 4 agents)",
 		Header: []string{"type", "p50 no-fw(W)", "p50 fw(W)", "peak fw(W)", "fw bans"},
 	}
-	for _, class := range workload.VictimClasses() {
-		run := func(fwOn bool) *core.Result {
-			label := fmt.Sprintf("fig10/%v/fw=%v", class, fwOn)
-			cfg := baseConfig(o, label, horizon)
-			if fwOn {
-				cfg.Firewall = firewall.DefaultConfig()
-			}
-			cfg.Attacks = []attack.Spec{{
-				Name: label, Layer: attack.ApplicationLayer, Class: class,
-				RateRPS: 1000, Agents: 4, Start: cfg.WarmupSec,
-				Duration: horizon - cfg.WarmupSec,
-			}}
-			res, err := core.RunOnce(cfg)
-			if err != nil {
-				panic(err)
-			}
-			return res
+	mkJob := func(class workload.Class, fwOn bool) harness.Job {
+		label := fmt.Sprintf("fig10/%v/fw=%v", class, fwOn)
+		cfg := baseConfig(o, label, horizon)
+		if fwOn {
+			cfg.Firewall = firewall.DefaultConfig()
 		}
-		woRes := run(false)
-		wRes := run(true)
+		cfg.Attacks = []attack.Spec{{
+			Name: label, Layer: attack.ApplicationLayer, Class: class,
+			RateRPS: 1000, Agents: 4, Start: cfg.WarmupSec,
+			Duration: horizon - cfg.WarmupSec,
+		}}
+		return harness.Job{Label: label, Config: cfg}
+	}
+	var jobs []harness.Job
+	for _, class := range workload.VictimClasses() {
+		jobs = append(jobs, mkJob(class, false), mkJob(class, true))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
+	for _, class := range workload.VictimClasses() {
+		woRes := next()
+		wRes := next()
 		woSample := woRes.Power.Sample()
 		wSample := wRes.Power.Sample()
 		out.Without[class] = woSample.CDF(50)
@@ -70,7 +76,7 @@ func Fig10(o Options) *Fig10Result {
 	out.Table.Notes = append(out.Table.Notes,
 		"paper: the firewall pulls the CDF left, but the detection start lag",
 		"still lets partial high power spikes through.")
-	return out
+	return out, nil
 }
 
 // FirewallCutsMedianPower reports whether the firewall lowered the median
@@ -111,7 +117,7 @@ type Fig11Result struct {
 }
 
 // Fig11 sweeps rates per class on the unprotected Medium-PB rack.
-func Fig11(o Options) *Fig11Result {
+func Fig11(o Options) (*Fig11Result, error) {
 	horizon := o.horizon(120)
 	fw := firewall.DefaultConfig()
 	const agents = 8
@@ -125,15 +131,29 @@ func Fig11(o Options) *Fig11Result {
 			agents, out.DetectCapacityRPS),
 		Header: []string{"type", "min rps violating budget", "detection capacity", "DOPE region"},
 	}
+	// The whole rate grid is submitted up front (the sequential version
+	// stopped at the first violating rate); the lowest violating rate is
+	// picked afterwards, so the table is unchanged and the sweep
+	// parallelizes freely.
 	sweep := []float64{50, 100, 150, 200, 300, 450, 700, 1000, 1500}
+	var jobs []harness.Job
+	for _, class := range workload.VictimClasses() {
+		for _, rate := range sweep {
+			label := fmt.Sprintf("fig11/%v/%g", class, rate)
+			jobs = append(jobs, floodJob(o, label, class, rate, cluster.MediumPB, nil, false, horizon))
+		}
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
 	for _, class := range workload.VictimClasses() {
 		violating := sweep[len(sweep)-1] + 1
 		for _, rate := range sweep {
-			label := fmt.Sprintf("fig11/%v/%g", class, rate)
-			res := runFlood(o, label, class, rate, cluster.MediumPB, nil, false, horizon)
-			if res.FracSlotsOverBudget > 0.2 {
+			res := next()
+			if violating > sweep[len(sweep)-1] && res.FracSlotsOverBudget > 0.2 {
 				violating = rate
-				break
 			}
 		}
 		out.MinViolatingRPS[class] = violating
@@ -147,7 +167,7 @@ func Fig11(o Options) *Fig11Result {
 	out.Table.Notes = append(out.Table.Notes,
 		"paper: the DOPE region is the band of request rates that violate the",
 		"power budget while staying below the DoS-detecting network capacity.")
-	return out
+	return out, nil
 }
 
 // RegionExists reports whether at least one class has a non-empty DOPE
@@ -176,7 +196,7 @@ type Fig12Result struct {
 
 // Fig12 runs the Figure 12 attacker against the firewalled, undefended
 // Medium-PB rack.
-func Fig12(o Options) *Fig12Result {
+func Fig12(o Options) (*Fig12Result, error) {
 	horizon := o.horizon(600)
 	cfg := baseConfig(o, "fig12", horizon)
 	cfg.Firewall = firewall.DefaultConfig()
@@ -184,10 +204,11 @@ func Fig12(o Options) *Fig12Result {
 	d := attack.DefaultDopeConfig()
 	cfg.Dope = &d
 	cfg.DopeStart = 10
-	res, err := core.RunOnce(cfg)
+	results, err := runJobs(o, []harness.Job{{Label: "fig12", Config: cfg}})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
+	res := results[0]
 	out := &Fig12Result{Trace: res.DopeTrace, BudgetViolatedJ: res.OverBudgetJ}
 	out.Table = &Table{
 		Title:  "Figure 12: adaptive DOPE attack trace",
@@ -219,5 +240,5 @@ func Fig12(o Options) *Fig12Result {
 		"paper: the attacker gradually increases its request number toward the",
 		"defense's bottom limit, backing off on detection, until an effective",
 		"DOPE runs without being caught.")
-	return out
+	return out, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"antidope/internal/cluster"
+	"antidope/internal/harness"
 	"antidope/internal/stats"
 )
 
@@ -25,14 +26,19 @@ type Fig15Result struct {
 
 // Fig15 runs the switching DOPE attack at Medium-PB under Anti-DOPE and a
 // quiet Normal-PB baseline for reference.
-func Fig15(o Options) *Fig15Result {
+func Fig15(o Options) (*Fig15Result, error) {
 	horizon := o.horizon(600)
 	attackStart := 30.0
 
-	quiet := runEval(o, "fig15/quiet", schemeByName("none"), cluster.NormalPB,
-		nil, horizon)
-	defended := runEval(o, "fig15/antidope", schemeByName("antidope"), cluster.MediumPB,
-		switchingAttackSpecs(attackStart, horizon, 120), horizon)
+	results, err := runJobs(o, []harness.Job{
+		evalJob(o, "fig15/quiet", schemeByName("none"), cluster.NormalPB, nil, horizon),
+		evalJob(o, "fig15/antidope", schemeByName("antidope"), cluster.MediumPB,
+			switchingAttackSpecs(attackStart, horizon, 120), horizon),
+	})
+	if err != nil {
+		return nil, err
+	}
+	quiet, defended := results[0], results[1]
 
 	out := &Fig15Result{
 		PowerUnderAttack: defended.Power.Downsample(120),
@@ -80,7 +86,7 @@ func Fig15(o Options) *Fig15Result {
 	out.TableB.Notes = append(out.TableB.Notes,
 		"paper: mean/p90/p95 only slightly worse than baseline; extremes are",
 		"dominated by other factors.")
-	return out
+	return out, nil
 }
 
 // PowerHeld reports whether the defended run kept residual violations rare.

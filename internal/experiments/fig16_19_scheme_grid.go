@@ -5,6 +5,7 @@ import (
 
 	"antidope/internal/cluster"
 	"antidope/internal/core"
+	"antidope/internal/harness"
 )
 
 // EvalGrid is the shared scheme × budget sweep behind Figures 16, 17 and 19
@@ -19,23 +20,33 @@ type EvalGrid struct {
 }
 
 // RunEvalGrid executes the sweep once; the figure builders share it.
-func RunEvalGrid(o Options) *EvalGrid {
+func RunEvalGrid(o Options) (*EvalGrid, error) {
 	horizon := o.horizon(300)
 	grid := &EvalGrid{
 		Results:     make(map[string]map[cluster.BudgetLevel]*core.Result),
 		SchemeOrder: []string{"Capping", "Shaving", "Token", "Anti-DOPE"},
 		Budgets:     cluster.AllBudgetLevels(),
 	}
+	var jobs []harness.Job
+	for _, name := range grid.SchemeOrder {
+		for _, budget := range grid.Budgets {
+			label := fmt.Sprintf("eval/%s/%s", name, budget)
+			jobs = append(jobs, evalJob(o, label, schemeByName(name), budget,
+				evalAttackSpecs(10, horizon), horizon))
+		}
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
 	for _, name := range grid.SchemeOrder {
 		grid.Results[name] = make(map[cluster.BudgetLevel]*core.Result)
 		for _, budget := range grid.Budgets {
-			label := fmt.Sprintf("eval/%s/%s", name, budget)
-			res := runEval(o, label, schemeByName(name), budget,
-				evalAttackSpecs(10, horizon), horizon)
-			grid.Results[name][budget] = res
+			grid.Results[name][budget] = next()
 		}
 	}
-	return grid
+	return grid, nil
 }
 
 // Fig16 renders the mean-response-time matrix from the grid.

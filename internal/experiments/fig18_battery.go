@@ -6,6 +6,7 @@ import (
 	"antidope/internal/cluster"
 	"antidope/internal/core"
 	"antidope/internal/defense"
+	"antidope/internal/harness"
 	"antidope/internal/stats"
 	"antidope/internal/workload"
 )
@@ -26,11 +27,11 @@ type Fig18Result struct {
 	DischargeEpisodes map[string]int
 }
 
-// fig18Run executes the Figure 18 scenario for one scheme: a Low-PB rack
+// fig18Job builds the Figure 18 scenario for one scheme: a Low-PB rack
 // whose legitimate load keeps the innocent pool warm (so attack-onset
 // transients actually cross the tight budget), under the 2-minute-switching
 // DOPE attack, with the gap-sized mini UPS.
-func fig18Run(o Options, scheme defense.Scheme, horizon float64) *core.Result {
+func fig18Job(o Options, scheme defense.Scheme, horizon float64) harness.Job {
 	cfg := evalConfig(o, "fig18/"+scheme.Name(), scheme, cluster.LowPB,
 		switchingAttackSpecs(30, horizon, 120), horizon)
 	mk := func(class workload.Class, rps float64, n int, base workload.SourceID) core.SourceSpec {
@@ -47,15 +48,11 @@ func fig18Run(o Options, scheme defense.Scheme, horizon float64) *core.Result {
 		mk(workload.WordCount, 25, 16, 300),
 		mk(workload.TextCont, 10, 16, 400),
 	}
-	res, err := core.RunOnce(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return res
+	return harness.Job{Label: "fig18/" + scheme.Name(), Config: cfg}
 }
 
 // Fig18 runs the switching attack at Low-PB for every scheme.
-func Fig18(o Options) *Fig18Result {
+func Fig18(o Options) (*Fig18Result, error) {
 	horizon := o.horizon(600)
 	out := &Fig18Result{
 		SoC:               make(map[string]stats.Series),
@@ -67,7 +64,9 @@ func Fig18(o Options) *Fig18Result {
 		Title:  "Figure 18: battery behaviour under switching DOPE (Low-PB, gap-sized UPS)",
 		Header: []string{"scheme", "min SoC", "exhausted", "discharge episodes", "battery J used"},
 	}
-	for _, name := range []string{"Capping", "Shaving", "Token", "Anti-DOPE"} {
+	names := []string{"Capping", "Shaving", "Token", "Anti-DOPE"}
+	var jobs []harness.Job
+	for _, name := range names {
 		scheme := schemeByName(name)
 		if ad, ok := scheme.(*defense.AntiDope); ok {
 			// The switching flood saturates more than one node's worth of
@@ -75,7 +74,14 @@ func Fig18(o Options) *Fig18Result {
 			// suspect pool.
 			ad.SuspectPoolFrac = 0.5
 		}
-		res := fig18Run(o, scheme, horizon)
+		jobs = append(jobs, fig18Job(o, scheme, horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res := results[i]
 		out.SoC[name] = res.Battery.Downsample(120)
 		min := res.MinBatterySoC()
 		out.MinSoC[name] = min
@@ -89,7 +95,7 @@ func Fig18(o Options) *Fig18Result {
 		"paper: conventional shaving heavily discharges and exhausts the UPS",
 		"against the long DOPE peak; Anti-DOPE uses it only as a transition",
 		"medium — one dip per attack change, recharged immediately after.")
-	return out
+	return out, nil
 }
 
 // dischargeEpisodes counts maximal runs of samples below 99.5% charge.

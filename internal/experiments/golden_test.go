@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/all_quick.golden from the current output")
+
+// allQuickOutput renders the full quick suite at the given worker count.
+func allQuickOutput(t testing.TB, parallel int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := All(Options{Seed: 2019, Quick: true, Parallel: parallel}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// firstDiff describes where two outputs diverge, line by line.
+func firstDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var av, bv []byte
+		if i < len(al) {
+			av = al[i]
+		}
+		if i < len(bl) {
+			bv = bl[i]
+		}
+		if !bytes.Equal(av, bv) {
+			return fmt.Sprintf("line %d:\n  a: %q\n  b: %q", i+1, av, bv)
+		}
+	}
+	return "no difference"
+}
+
+// TestAllQuickGolden pins the entire quick-suite report — every table cell,
+// every check line — against testdata/all_quick.golden. Any change to the
+// simulation, the experiments, or the table formatter shows up as a diff
+// here. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestAllQuickGolden -update
+func TestAllQuickGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "all_quick.golden")
+	got := allQuickOutput(t, 0)
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("All(quick) output diverged from %s; first %s\n(rerun with -update if the change is intended)",
+			golden, firstDiff(want, got))
+	}
+}
+
+// TestParallelEquivalence asserts the harness's core guarantee: the report
+// is byte-identical whether the simulations run one at a time or fan out
+// across eight workers. Per-label seeds make each run independent of
+// execution order, and results are consumed in submission order.
+func TestParallelEquivalence(t *testing.T) {
+	seq := allQuickOutput(t, 1)
+	par := allQuickOutput(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("-parallel 1 and -parallel 8 outputs differ; first %s", firstDiff(seq, par))
+	}
+}

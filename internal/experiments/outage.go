@@ -5,6 +5,7 @@ import (
 
 	"antidope/internal/cluster"
 	"antidope/internal/core"
+	"antidope/internal/harness"
 )
 
 // OutageResult extends the evaluation with the paper's Figure 1 motivation
@@ -22,7 +23,7 @@ type OutageResult struct {
 
 // Outage runs the steady DOPE injection at Medium-PB with the breaker
 // enabled for every scheme.
-func Outage(o Options) *OutageResult {
+func Outage(o Options) (*OutageResult, error) {
 	horizon := o.horizon(480)
 	out := &OutageResult{
 		Outages:  make(map[string]int),
@@ -33,19 +34,22 @@ func Outage(o Options) *OutageResult {
 		Title:  "Outage risk: DOPE vs schemes with branch-circuit protection (Medium-PB)",
 		Header: []string{"scheme", "breaker trips", "downtime(s)", "availability", "heat source"},
 	}
+	var jobs []harness.Job
 	for _, name := range []string{"none", "capping", "shaving", "token", "anti-dope"} {
-		scheme := schemeByName(name)
-		cfg := evalConfig(o, "outage/"+name, scheme, cluster.MediumPB,
+		cfg := evalConfig(o, "outage/"+name, schemeByName(name), cluster.MediumPB,
 			evalAttackSpecs(10, horizon), horizon)
 		cfg.ExtraSources = evalLegitSources()
 		// Rating at exactly the provisioned feed: the utility contract is
 		// the budget, and the DOPE draw sits only ~6% above it — precisely
 		// the low-and-slow overload an inverse-time breaker integrates.
 		cfg.Breaker = core.BreakerCfg{Enabled: true, RatingFrac: 1.0, ToleranceSec: 20, RepairSec: 60}
-		res, err := core.RunOnce(cfg)
-		if err != nil {
-			panic(err)
-		}
+		jobs = append(jobs, harness.Job{Label: "outage/" + name, Config: cfg})
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		out.Outages[res.SchemeName] = res.Outages
 		out.Downtime[res.SchemeName] = res.OutageSeconds
 		out.Availab[res.SchemeName] = res.Availability()
@@ -60,7 +64,7 @@ func Outage(o Options) *OutageResult {
 		"paper (Fig. 1): DoS is a top-3 root cause of unplanned data center",
 		"outages; with the breaker modeled, the undefended rack actually goes",
 		"down under DOPE, while every active power defense prevents the trip.")
-	return out
+	return out, nil
 }
 
 // UndefendedTrips reports whether the undefended rack suffered at least one

@@ -3,7 +3,7 @@ package experiments
 import (
 	"antidope/internal/attack"
 	"antidope/internal/cluster"
-	"antidope/internal/core"
+	"antidope/internal/harness"
 	"antidope/internal/workload"
 )
 
@@ -22,7 +22,7 @@ type PulseResult struct {
 }
 
 // Pulse runs the yo-yo attack at Low-PB with the gap-sized UPS.
-func Pulse(o Options) *PulseResult {
+func Pulse(o Options) (*PulseResult, error) {
 	horizon := o.horizon(480)
 	out := &PulseResult{
 		MinSoC:      make(map[string]float64),
@@ -34,14 +34,21 @@ func Pulse(o Options) *PulseResult {
 		Title:  "Pulse (yo-yo) DOPE attack: 30s on / 30s off Colla-Filt bursts (Low-PB)",
 		Header: []string{"scheme", "min SoC", "battery cycles", "freq changes", "legit p90(ms)"},
 	}
-	pulses := attack.Pulse(workload.CollaFilt, 90, 32, 20, horizon, 30, 30)
-	for _, name := range []string{"Capping", "Shaving", "Token", "Anti-DOPE"} {
+	names := []string{"Capping", "Shaving", "Token", "Anti-DOPE"}
+	var jobs []harness.Job
+	for _, name := range names {
+		// Each job gets its own pulse specs: configs must not share slices.
+		pulses := attack.Pulse(workload.CollaFilt, 90, 32, 20, horizon, 30, 30)
 		cfg := evalConfig(o, "pulse/"+name, schemeByName(name), cluster.LowPB, pulses, horizon)
 		cfg.ExtraSources = evalLegitSources()
-		res, err := core.RunOnce(cfg)
-		if err != nil {
-			panic(err)
-		}
+		jobs = append(jobs, harness.Job{Label: "pulse/" + name, Config: cfg})
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res := results[i]
 		// The simulation does not expose servers post-run through Result;
 		// derive actuation churn from the frequency series instead: count
 		// direction reversals, skipping flat plateaus between moves.
@@ -73,7 +80,7 @@ func Pulse(o Options) *PulseResult {
 		"each pulse forces Shaving to discharge again (cycle wear) and forces",
 		"Capping to throttle-and-release (frequency churn); isolation makes",
 		"the pulses a suspect-pool problem only.")
-	return out
+	return out, nil
 }
 
 // ShavingWearsBattery reports whether Shaving cycles its battery more than

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"antidope/internal/cluster"
+	"antidope/internal/harness"
 )
 
 // RobustnessResult replays the Medium-PB headline comparison across
@@ -17,7 +18,7 @@ type RobustnessResult struct {
 }
 
 // Robustness runs the paired comparison for each derived seed.
-func Robustness(o Options) *RobustnessResult {
+func Robustness(o Options) (*RobustnessResult, error) {
 	horizon := o.horizon(240)
 	seeds := 5
 	if o.Quick {
@@ -28,13 +29,26 @@ func Robustness(o Options) *RobustnessResult {
 		Title:  "Seed robustness: Anti-DOPE vs Capping at Medium-PB across independent runs",
 		Header: []string{"seed", "capping mean(ms)", "anti-dope mean(ms)", "mean impr.", "capping p90(ms)", "anti-dope p90(ms)", "p90 impr."},
 	}
+	var jobs []harness.Job
 	for i := 0; i < seeds; i++ {
 		so := o
 		so.Seed = o.Seed + uint64(1000*(i+1))
-		cap := runEval(so, fmt.Sprintf("robust/cap/%d", i), schemeByName("capping"),
-			cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
-		ad := runEval(so, fmt.Sprintf("robust/ad/%d", i), schemeByName("anti-dope"),
-			cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
+		jobs = append(jobs,
+			evalJob(so, fmt.Sprintf("robust/cap/%d", i), schemeByName("capping"),
+				cluster.MediumPB, evalAttackSpecs(10, horizon), horizon),
+			evalJob(so, fmt.Sprintf("robust/ad/%d", i), schemeByName("anti-dope"),
+				cluster.MediumPB, evalAttackSpecs(10, horizon), horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
+	for i := 0; i < seeds; i++ {
+		so := o
+		so.Seed = o.Seed + uint64(1000*(i+1))
+		cap := next()
+		ad := next()
 		mi := 1 - ad.MeanRT()/cap.MeanRT()
 		pi := 1 - ad.TailRT(90)/cap.TailRT(90)
 		out.MeanImpr = append(out.MeanImpr, mi)
@@ -48,7 +62,7 @@ func Robustness(o Options) *RobustnessResult {
 	out.Table.Notes = append(out.Table.Notes, fmt.Sprintf(
 		"mean improvement range [%s, %s]; p90 range [%s, %s] across %d seeds.",
 		pct(lo), pct(hi), pct(plo), pct(phi), seeds))
-	return out
+	return out, nil
 }
 
 func minMax(xs []float64) (lo, hi float64) {

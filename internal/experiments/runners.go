@@ -6,6 +6,7 @@ import (
 	"antidope/internal/core"
 	"antidope/internal/defense"
 	"antidope/internal/firewall"
+	"antidope/internal/harness"
 	"antidope/internal/netlb"
 	"antidope/internal/power"
 	"antidope/internal/workload"
@@ -30,9 +31,11 @@ func baseConfig(o Options, label string, horizon float64) core.Config {
 	return cfg
 }
 
-// runFlood executes one victim-endpoint flood scenario.
-func runFlood(o Options, label string, class workload.Class, rate float64,
-	budget cluster.BudgetLevel, scheme defense.Scheme, fwOn bool, horizon float64) *core.Result {
+// floodJob builds one victim-endpoint flood scenario as a harness job.
+// The scheme must be a fresh instance per job: jobs run concurrently and
+// schemes are stateful.
+func floodJob(o Options, label string, class workload.Class, rate float64,
+	budget cluster.BudgetLevel, scheme defense.Scheme, fwOn bool, horizon float64) harness.Job {
 	cfg := baseConfig(o, label, horizon)
 	cfg.Cluster.Budget = budget
 	cfg.Scheme = scheme
@@ -54,16 +57,12 @@ func runFlood(o Options, label string, class workload.Class, rate float64,
 			Duration: horizon - cfg.WarmupSec,
 		}}
 	}
-	res, err := core.RunOnce(cfg)
-	if err != nil {
-		panic("experiments: " + label + ": " + err.Error())
-	}
-	return res
+	return harness.Job{Label: label, Config: cfg}
 }
 
-// runMixedFlood floods all four victim endpoints in equal shares at the
+// mixedFloodJob floods all four victim endpoints in equal shares at the
 // given total rate, on the unprotected Normal-PB rack.
-func runMixedFlood(o Options, label string, totalRate, horizon float64) *core.Result {
+func mixedFloodJob(o Options, label string, totalRate, horizon float64) harness.Job {
 	cfg := baseConfig(o, label, horizon)
 	perClass := totalRate / 4
 	agents := int(perClass / 100)
@@ -81,11 +80,7 @@ func runMixedFlood(o Options, label string, totalRate, horizon float64) *core.Re
 			Duration: horizon - cfg.WarmupSec,
 		})
 	}
-	res, err := core.RunOnce(cfg)
-	if err != nil {
-		panic("experiments: " + label + ": " + err.Error())
-	}
-	return res
+	return harness.Job{Label: label, Config: cfg}
 }
 
 // ladder is the shared frequency ladder for scheme construction.

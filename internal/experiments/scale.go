@@ -6,6 +6,7 @@ import (
 	"antidope/internal/attack"
 	"antidope/internal/cluster"
 	"antidope/internal/core"
+	"antidope/internal/harness"
 	"antidope/internal/workload"
 )
 
@@ -25,8 +26,8 @@ type ScaleResult struct {
 	UndefendedOver map[int]float64
 }
 
-// scaleRun builds the proportionally scaled scenario for n servers.
-func scaleRun(o Options, label string, n int, schemeName string, horizon float64) *core.Result {
+// scaleJob builds the proportionally scaled scenario for n servers.
+func scaleJob(o Options, label string, n int, schemeName string, horizon float64) harness.Job {
 	k := float64(n) / 4
 	cfg := evalConfig(o, label, nil, cluster.MediumPB, nil, horizon)
 	if schemeName != "" {
@@ -61,15 +62,11 @@ func scaleRun(o Options, label string, n int, schemeName string, horizon float64
 		flood(workload.KMeans, 18),
 		flood(workload.WordCount, 70),
 	}
-	res, err := core.RunOnce(cfg)
-	if err != nil {
-		panic("experiments: " + label + ": " + err.Error())
-	}
-	return res
+	return harness.Job{Label: label, Config: cfg}
 }
 
 // Scale runs the sweep.
-func Scale(o Options) *ScaleResult {
+func Scale(o Options) (*ScaleResult, error) {
 	horizon := o.horizon(240)
 	sizes := []int{4, 16, 32}
 	if o.Quick {
@@ -89,10 +86,22 @@ func Scale(o Options) *ScaleResult {
 		Header: []string{"servers", "undefended slotsOver", "capping mean(ms)", "capping p90(ms)",
 			"anti-dope mean(ms)", "anti-dope p90(ms)", "anti-dope slotsOver"},
 	}
+	var jobs []harness.Job
 	for _, n := range sizes {
-		und := scaleRun(o, fmt.Sprintf("scale/none/%d", n), n, "none", horizon)
-		cap := scaleRun(o, fmt.Sprintf("scale/capping/%d", n), n, "capping", horizon)
-		ad := scaleRun(o, fmt.Sprintf("scale/antidope/%d", n), n, "anti-dope", horizon)
+		jobs = append(jobs,
+			scaleJob(o, fmt.Sprintf("scale/none/%d", n), n, "none", horizon),
+			scaleJob(o, fmt.Sprintf("scale/capping/%d", n), n, "capping", horizon),
+			scaleJob(o, fmt.Sprintf("scale/antidope/%d", n), n, "anti-dope", horizon))
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := resultCursor(results)
+	for _, n := range sizes {
+		und := next()
+		cap := next()
+		ad := next()
 		out.UndefendedOver[n] = und.FracSlotsOverBudget
 		out.CappingMean[n] = cap.MeanRT()
 		out.CappingP90[n] = cap.TailRT(90)
@@ -107,7 +116,7 @@ func Scale(o Options) *ScaleResult {
 		"the vulnerability (sustained budget violation) and the remedy (isolate",
 		"+ differentiate) both scale linearly with the power domain; nothing in",
 		"the 4-node result depends on its size.")
-	return out
+	return out, nil
 }
 
 // InvariantAcrossScale reports whether, at every size, the undefended rack

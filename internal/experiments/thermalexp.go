@@ -3,7 +3,7 @@ package experiments
 import (
 	"antidope/internal/attack"
 	"antidope/internal/cluster"
-	"antidope/internal/core"
+	"antidope/internal/harness"
 	"antidope/internal/thermal"
 	"antidope/internal/workload"
 )
@@ -27,7 +27,7 @@ type ThermalResult struct {
 
 // Thermal runs the sustained flood at Normal-PB with undersized cooling
 // for every scheme (plus the undefended rack).
-func Thermal(o Options) *ThermalResult {
+func Thermal(o Options) (*ThermalResult, error) {
 	// Thermal physics needs real minutes: the room and server time
 	// constants do not shrink with quick mode, so the window keeps a 420 s
 	// floor (quick) / 600 s (full).
@@ -44,6 +44,7 @@ func Thermal(o Options) *ThermalResult {
 		Title:  "Cooling attack: sustained DOPE vs undersized CRAC at Normal-PB",
 		Header: []string{"scheme", "peak temp(°C)", "slots throttled", "legit p90(ms)"},
 	}
+	var jobs []harness.Job
 	for _, name := range []string{"none", "capping", "shaving", "anti-dope"} {
 		cfg := evalConfig(o, "thermal/"+name, schemeByName(name), cluster.NormalPB,
 			[]attack.Spec{
@@ -55,10 +56,13 @@ func Thermal(o Options) *ThermalResult {
 		// the feed is at Normal — cooling plants are oversubscribed too, and
 		// more recirculation-prone than this rack's feed.
 		cfg.Thermal = thermal.Config{Enabled: true, CRACCapacityW: 320, RiseCPerW: 0.12}
-		res, err := core.RunOnce(cfg)
-		if err != nil {
-			panic(err)
-		}
+		jobs = append(jobs, harness.Job{Label: "thermal/" + name, Config: cfg})
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		_, maxT := res.MaxTempC.Max()
 		out.MaxTempC[res.SchemeName] = maxT
 		out.HotFrac[res.SchemeName] = res.FracSlotsThermal
@@ -71,7 +75,7 @@ func Thermal(o Options) *ThermalResult {
 		"release fights the hardware's thermal throttle (reheat-rethrottle",
 		"oscillation, hence their higher throttled fraction). Only the",
 		"heat-aware placement (isolation) keeps the room in its envelope.")
-	return out
+	return out, nil
 }
 
 // IsolationKeepsCool reports whether Anti-DOPE suffers less thermal

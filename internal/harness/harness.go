@@ -1,0 +1,165 @@
+// Package harness executes named simulation jobs on a worker pool while
+// preserving deterministic output: jobs are handed to workers in
+// submission order, every job's randomness is fully determined by its own
+// core.Config (the experiments derive per-label seeds), and results come
+// back indexed by submission position. A suite that prints results in
+// submission order therefore produces byte-identical output whether the
+// pool has one worker or many — the invariant the equivalence test in
+// internal/experiments locks down.
+//
+// The pool also replaces the former crash-on-error behaviour of the
+// experiment runners: a failing job is retried once (errors can only come
+// from configuration assembly today, but the policy is cheap insurance
+// against future flaky resources) and then collected into the RunResult
+// instead of panicking, so one bad configuration cannot kill a whole
+// paperbench run.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"antidope/internal/core"
+)
+
+// Job names one simulation run. The config must be self-contained: in
+// particular its Scheme must be a fresh instance not shared with any other
+// job, because jobs run concurrently and schemes are stateful.
+type Job struct {
+	Label  string
+	Config core.Config
+}
+
+// RunResult is the outcome of one job.
+type RunResult struct {
+	Label  string
+	Result *core.Result
+	// Err is the terminal error after the retry policy; nil on success.
+	Err error
+	// Attempts is how many times the job ran (1, or 2 after a retry).
+	Attempts int
+}
+
+// Pool is a fixed-width worker pool. The zero value is not usable; build
+// with New.
+type Pool struct {
+	workers int
+}
+
+// New builds a pool. workers <= 0 selects one worker per available CPU
+// (runtime.GOMAXPROCS(0)); workers == 1 reproduces strictly sequential
+// execution.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes every job and returns the results in submission order,
+// regardless of completion order. Each failing job is retried once before
+// its error is recorded. Run never panics on job errors; inspect the
+// results (or Errs) for failures.
+func (p *Pool) Run(jobs []Job) []RunResult {
+	out := make([]RunResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if p.workers == 1 || len(jobs) == 1 {
+		for i, j := range jobs {
+			out[i] = runJob(j)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runJob(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Go runs arbitrary closures on the pool and waits for all of them — the
+// escape hatch for work that is not a bare config (e.g. the SLA capacity
+// binary searches, which are sequential inside but independent across
+// schemes). Closures must write results into their own captured slots.
+func (p *Pool) Go(fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if p.workers == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fns[i]()
+			}
+		}()
+	}
+	for i := range fns {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// runJob executes one job with the retry-once policy. Retrying reuses the
+// job's config verbatim; that is safe because core.RunOnce can only fail
+// during assembly/validation, before any stateful component (scheme,
+// firewall) has observed traffic.
+func runJob(j Job) RunResult {
+	res, err := core.RunOnce(j.Config)
+	attempts := 1
+	if err != nil {
+		res, err = core.RunOnce(j.Config)
+		attempts = 2
+	}
+	return RunResult{Label: j.Label, Result: res, Err: err, Attempts: attempts}
+}
+
+// Errs joins the errors of every failed result into one error naming the
+// failing labels, or returns nil when all jobs succeeded.
+func Errs(results []RunResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Label, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Results strips the bookkeeping and returns just the per-job results in
+// submission order. Call only after Errs reported nil (failed entries are
+// nil pointers).
+func Results(results []RunResult) []*core.Result {
+	out := make([]*core.Result, len(results))
+	for i, r := range results {
+		out[i] = r.Result
+	}
+	return out
+}

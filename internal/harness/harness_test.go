@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"antidope/internal/core"
+)
+
+// job builds a tiny runnable config whose seed varies by index.
+func job(i int) Job {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 12
+	cfg.WarmupSec = 1
+	cfg.NormalRPS = 20
+	cfg.Seed = uint64(i + 1)
+	return Job{Label: fmt.Sprintf("job/%d", i), Config: cfg}
+}
+
+// badJob fails validation (negative horizon) on every attempt.
+func badJob(label string) Job {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = -1
+	return Job{Label: label, Config: cfg}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("workers = %d, want 7", got)
+	}
+}
+
+func TestRunPreservesSubmissionOrder(t *testing.T) {
+	const n = 12
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = job(i)
+	}
+	seq := New(1).Run(jobs)
+	par := New(8).Run(jobs)
+	if len(seq) != n || len(par) != n {
+		t.Fatalf("result lengths %d/%d, want %d", len(seq), len(par), n)
+	}
+	for i := 0; i < n; i++ {
+		if seq[i].Label != jobs[i].Label || par[i].Label != jobs[i].Label {
+			t.Fatalf("slot %d holds %q/%q, want %q", i, seq[i].Label, par[i].Label, jobs[i].Label)
+		}
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("slot %d errored: %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		// Same config → same deterministic measurements on either pool width.
+		if seq[i].Result.CompletedLegit != par[i].Result.CompletedLegit {
+			t.Fatalf("slot %d diverged: %d vs %d completions",
+				i, seq[i].Result.CompletedLegit, par[i].Result.CompletedLegit)
+		}
+	}
+}
+
+func TestRetryOncePolicy(t *testing.T) {
+	rr := New(2).Run([]Job{job(0), badJob("bad/one"), job(1)})
+	if rr[0].Err != nil || rr[0].Attempts != 1 {
+		t.Fatalf("good job: err=%v attempts=%d", rr[0].Err, rr[0].Attempts)
+	}
+	if rr[1].Err == nil {
+		t.Fatal("bad job did not error")
+	}
+	if rr[1].Attempts != 2 {
+		t.Fatalf("bad job ran %d times, want 2 (retry-once)", rr[1].Attempts)
+	}
+	if rr[2].Err != nil {
+		t.Fatalf("job after the failure errored: %v", rr[2].Err)
+	}
+	err := Errs(rr)
+	if err == nil || !strings.Contains(err.Error(), "bad/one") {
+		t.Fatalf("Errs = %v, want the failing label", err)
+	}
+}
+
+func TestErrsNilOnSuccess(t *testing.T) {
+	rr := New(2).Run([]Job{job(0), job(1)})
+	if err := Errs(rr); err != nil {
+		t.Fatalf("Errs = %v on a clean run", err)
+	}
+	res := Results(rr)
+	if len(res) != 2 || res[0] == nil || res[1] == nil {
+		t.Fatalf("Results dropped entries: %v", res)
+	}
+}
+
+func TestGoRunsEveryClosure(t *testing.T) {
+	var ran atomic.Int64
+	fns := make([]func(), 17)
+	for i := range fns {
+		fns[i] = func() { ran.Add(1) }
+	}
+	New(4).Go(fns)
+	if got := ran.Load(); got != 17 {
+		t.Fatalf("ran %d closures, want 17", got)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := New(4).Run(nil); len(got) != 0 {
+		t.Fatalf("empty run returned %d results", len(got))
+	}
+	New(4).Go(nil)
+}
