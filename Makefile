@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet lint test race fuzz verify
+.PHONY: build vet lint test race fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -26,3 +27,16 @@ fuzz:
 # Tier-1 verify: what every PR must keep green. The lint target already
 # includes go vet, and race subsumes plain test.
 verify: build lint race
+
+# Hot-path micro-benchmarks plus the quick-suite macro run, gated against the
+# checked-in baseline (BENCH_3.json). Writes the fresh numbers to
+# BENCH_new.json; fails when any ns/op regresses more than BENCH_TOLERANCE.
+# See EXPERIMENTS.md "Profiling and benchmark regression".
+bench:
+	{ \
+	  $(GO) test -run='^$$' -bench 'BenchmarkScheduleAndRun|BenchmarkScheduleFireSteady|BenchmarkScheduleCancel' -benchmem -benchtime=2s ./internal/simtime; \
+	  $(GO) test -run='^$$' -bench 'BenchmarkAdvance$$|BenchmarkNextCompletion|BenchmarkPowerAt|BenchmarkAdvanceCompleting' -benchmem -benchtime=2s ./internal/server; \
+	  $(GO) test -run='^$$' -bench 'BenchmarkModelPower$$|BenchmarkModelPowerLadder|BenchmarkTablePowerLadder' -benchmem -benchtime=2s ./internal/power; \
+	  $(GO) test -run='^$$' -bench 'BenchmarkPercentile' -benchmem -benchtime=2s ./internal/stats; \
+	  $(GO) test -run='^$$' -bench 'BenchmarkAllQuick/sequential' -benchtime=3x . ; \
+	} | $(GO) run ./cmd/benchregress -baseline BENCH_3.json -tolerance $(BENCH_TOLERANCE) -out BENCH_new.json

@@ -8,13 +8,19 @@
 //	paperbench -quick       # ~4x shorter windows (CI-grade)
 //	paperbench -fig 17      # a single figure
 //	paperbench -parallel 1  # force sequential execution (same output)
+//	paperbench -quick -cpuprofile cpu.pprof   # profile the suite
+//	paperbench -quick -benchjson run.json     # record wall time as bench JSON
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"antidope/internal/experiments"
 )
@@ -26,25 +32,101 @@ func main() {
 		fig      = flag.Int("fig", 0, "run a single figure (3..19); 0 = all")
 		extra    = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|thermal")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (output is identical at any setting; 1 = sequential)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		benchjson  = flag.String("benchjson", "", "merge the run's wall time into this file in the antidope-bench/v1 JSON schema")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	// run holds the actual work so the deferred profile/JSON writers flush
+	// before the process exits; os.Exit inside run would skip them.
+	os.Exit(run(*quick, *seed, *fig, *extra, *parallel, *cpuprofile, *memprofile, *benchjson))
+}
+
+// errExit unwinds run() on an experiment error after it has already been
+// reported, letting the deferred profile writers flush.
+var errExit = errors.New("exit")
+
+func run(quick bool, seed uint64, fig int, extra string, parallel int,
+	cpuprofile, memprofile, benchjson string) (exitCode int) {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				exitCode = 1
+			}
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				exitCode = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				exitCode = 1
+			}
+		}()
+	}
+	if benchjson != "" {
+		//lint:allow walltime -- measurement layer: wall time never feeds the simulation
+		start := time.Now()
+		target := benchTarget(fig, extra, quick)
+		defer func() {
+			if exitCode != 0 {
+				return // a failed run's timing is meaningless
+			}
+			//lint:allow walltime -- measurement layer: wall time never feeds the simulation
+			elapsed := time.Since(start)
+			if err := writeBenchJSON(benchjson, target, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				exitCode = 1
+			}
+		}()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, errExit) {
+				panic(r)
+			}
+			exitCode = 1
+		}
+	}()
+
+	o := experiments.Options{Seed: seed, Quick: quick, Parallel: parallel}
 	w := os.Stdout
 
 	// check aborts on an experiment error; the harness already retried each
 	// failing run once, so whatever is left is a real configuration problem.
+	// It unwinds via panic (recovered above) so profile writers still flush.
 	check := func(err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+			panic(errExit)
 		}
 	}
 
-	if *extra != "" {
+	if extra != "" {
 		var table *experiments.Table
 		var err error
-		switch *extra {
+		switch extra {
 		case "ablation":
 			var r *experiments.AblationResult
 			r, err = experiments.Ablation(o)
@@ -94,19 +176,19 @@ func main() {
 				table = r.Table
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "paperbench: unknown extra experiment %q\n", *extra)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "paperbench: unknown extra experiment %q\n", extra)
+			return 1
 		}
 		check(err)
 		table.Fprint(w)
-		return
+		return 0
 	}
 
-	if *fig == 0 {
+	if fig == 0 {
 		check(experiments.All(o, w))
-		return
+		return 0
 	}
-	switch *fig {
+	switch fig {
 	case 3:
 		r, err := experiments.Fig3(o)
 		check(err)
@@ -159,7 +241,7 @@ func main() {
 	case 16, 17, 19:
 		grid, err := experiments.RunEvalGrid(o)
 		check(err)
-		switch *fig {
+		switch fig {
 		case 16:
 			grid.Fig16().Fprint(w)
 		case 17:
@@ -172,7 +254,58 @@ func main() {
 		check(err)
 		r.Table.Fprint(w)
 	default:
-		fmt.Fprintf(os.Stderr, "paperbench: no experiment for figure %d (figures 1/2/13/14 are diagrams)\n", *fig)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "paperbench: no experiment for figure %d (figures 1/2/13/14 are diagrams)\n", fig)
+		return 1
 	}
+	return 0
+}
+
+// benchTarget names the timing entry for a run, mirroring go test -bench
+// naming so benchregress can compare paperbench timings with micro-benchmarks.
+func benchTarget(fig int, extra string, quick bool) string {
+	name := "PaperbenchAll"
+	switch {
+	case extra != "":
+		name = "PaperbenchX/" + extra
+	case fig != 0:
+		name = fmt.Sprintf("PaperbenchFig%d", fig)
+	}
+	if quick {
+		name += "/quick"
+	}
+	return name
+}
+
+// benchFile is the antidope-bench/v1 schema shared with cmd/benchregress.
+type benchFile struct {
+	Schema     string                `json:"schema"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// writeBenchJSON merges one timing entry into path, creating the file if
+// needed and preserving entries for other targets.
+func writeBenchJSON(path, target string, elapsed time.Duration) error {
+	bf := benchFile{Schema: "antidope-bench/v1", Benchmarks: map[string]benchEntry{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("benchjson %s: %w", path, err)
+		}
+		if bf.Benchmarks == nil {
+			bf.Benchmarks = map[string]benchEntry{}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	bf.Benchmarks[target] = benchEntry{NsPerOp: float64(elapsed.Nanoseconds())}
+	out, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

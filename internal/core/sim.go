@@ -48,6 +48,19 @@ type Simulation struct {
 	plant       *thermal.Plant
 	thermalHot  int // slots with any server thermally throttled
 
+	// Pre-bound callbacks for the recurring event chains, created once so
+	// the per-arrival/per-completion path schedules without allocating a
+	// fresh closure (see DESIGN.md "Performance model").
+	mixFn   func(now float64)
+	mixNext *workload.Request
+	dopeFn  func(now float64)
+	// compFns[i]/compEvs[i] belong to cl.Servers[i] (server ID == index):
+	// the bound completion callback and the handle of the one live
+	// completion event; superseded events are cancelled, not left to rot.
+	compFns  []func(now float64)
+	compEvs  []simtime.Event
+	drawsBuf []float64
+
 	res         *Result
 	prevRep     defense.SlotReport
 	lastEnergyJ float64
@@ -140,7 +153,39 @@ func New(cfg Config) (*Simulation, error) {
 		s.dopeRnd = s.rnd.Split("dope")
 		s.epochBanned = make(map[workload.SourceID]bool)
 	}
+	s.bindCallbacks()
 	return s, nil
+}
+
+// bindCallbacks builds the reusable event callbacks once per run. Every
+// recurring chain (merged arrivals, adaptive attacker, per-server
+// completions) re-arms itself with the same bound function, so the hot
+// path's Schedule calls allocate no closures.
+func (s *Simulation) bindCallbacks() {
+	s.mixFn = func(now float64) {
+		req := s.mixNext
+		s.mixNext = nil
+		s.handleArrival(now, req)
+		s.pumpMix()
+	}
+	s.dopeFn = func(now float64) {
+		agents := s.dopePlan.Agents
+		src := dopeSourceBase + workload.SourceID(s.dopeRnd.Intn(agents))
+		req := s.factory.New(now, s.dopePlan.Class, workload.Attack, src)
+		s.handleArrival(now, req)
+		s.scheduleDopeArrival(now)
+	}
+	s.compFns = make([]func(now float64), len(s.cl.Servers))
+	s.compEvs = make([]simtime.Event, len(s.cl.Servers))
+	for i, sv := range s.cl.Servers {
+		sv := sv
+		s.compFns[i] = func(now float64) {
+			for _, done := range sv.Advance(now) {
+				s.recordCompletion(done)
+			}
+			s.scheduleCompletion(sv)
+		}
+	}
 }
 
 // MustNew is New for known-good configurations.
@@ -217,21 +262,21 @@ func (s *Simulation) Run() *Result {
 }
 
 // pumpMix schedules the next arrival from the merged stream; each arrival
-// event re-arms the pump.
+// event re-arms the pump. At most one mix arrival is outstanding, so the
+// pending request rides in s.mixNext and the bound s.mixFn callback is
+// reused for every arrival.
 func (s *Simulation) pumpMix() {
 	a, ok := s.mix.Next(s.cfg.Horizon)
 	if !ok {
 		return
 	}
-	req := a.Req
-	s.eng.Schedule(a.At, func(now float64) {
-		s.handleArrival(now, req)
-		s.pumpMix()
-	})
+	s.mixNext = a.Req
+	s.eng.Schedule(a.At, s.mixFn)
 }
 
 // scheduleDopeArrival arms the adaptive attacker's next request using the
-// current plan's rate; rate changes apply from the next arrival on.
+// current plan's rate; rate changes apply from the next arrival on. Like
+// the mix pump, the chain has one outstanding event and reuses s.dopeFn.
 func (s *Simulation) scheduleDopeArrival(after float64) {
 	rate := s.dopePlan.RPS
 	if rate <= 0 {
@@ -241,13 +286,7 @@ func (s *Simulation) scheduleDopeArrival(after float64) {
 	if at >= s.cfg.Horizon {
 		return
 	}
-	s.eng.Schedule(at, func(now float64) {
-		agents := s.dopePlan.Agents
-		src := dopeSourceBase + workload.SourceID(s.dopeRnd.Intn(agents))
-		req := s.factory.New(now, s.dopePlan.Class, workload.Attack, src)
-		s.handleArrival(now, req)
-		s.scheduleDopeArrival(now)
-	})
+	s.eng.Schedule(at, s.dopeFn)
 }
 
 // dopeEpoch closes one probe epoch: build the attacker's feedback from what
@@ -312,9 +351,13 @@ func (s *Simulation) handleArrival(now float64, req *workload.Request) {
 	s.scheduleCompletion(sv)
 }
 
-// scheduleCompletion arms the server's next completion event, stamped with
-// the server version so stale events self-cancel.
+// scheduleCompletion re-arms the server's next completion event. Each
+// server has at most one live completion event: the previous one is
+// cancelled outright (the engine reclaims it) instead of being left in the
+// queue as a version-stamped tombstone. Cancel on an already-fired handle
+// is inert, so the callback may re-arm its own server freely.
 func (s *Simulation) scheduleCompletion(sv *server.Server) {
+	s.compEvs[sv.ID].Cancel()
 	at, ok := sv.NextCompletion()
 	if !ok {
 		return
@@ -324,16 +367,7 @@ func (s *Simulation) scheduleCompletion(sv *server.Server) {
 		// die at the horizon anyway.
 		return
 	}
-	ver := sv.Version()
-	s.eng.Schedule(at, func(now float64) {
-		if sv.Version() != ver {
-			return // superseded by a later arrival/cap/completion
-		}
-		for _, done := range sv.Advance(now) {
-			s.recordCompletion(done)
-		}
-		s.scheduleCompletion(sv)
-	})
+	s.compEvs[sv.ID] = s.eng.Schedule(at, s.compFns[sv.ID])
 }
 
 // controlTick is the per-slot power-management loop.
@@ -379,7 +413,10 @@ func (s *Simulation) controlTick(now float64) {
 // servers' instantaneous draw, so the throttle's own power reduction feeds
 // back into the next step.
 func (s *Simulation) thermalTick(now float64) {
-	draws := make([]float64, len(s.cl.Servers))
+	if s.drawsBuf == nil {
+		s.drawsBuf = make([]float64, len(s.cl.Servers))
+	}
+	draws := s.drawsBuf
 	for i, sv := range s.cl.Servers {
 		draws[i] = sv.PowerNow()
 	}

@@ -85,10 +85,11 @@ func Fig4(o Options) (*Fig4Result, error) {
 	for _, rate := range Fig4CDFRates {
 		sample := next().Power.Sample()
 		out.CDFs[rate] = sample.CDF(50)
+		ps := sample.Percentiles(10, 50, 90, 99)
 		out.TableB.AddRow(fmt.Sprintf("%g", rate),
-			f1(sample.Percentile(10)), f1(sample.Percentile(50)),
-			f1(sample.Percentile(90)), f1(sample.Percentile(99)),
-			f3(sample.Percentile(50)/nameplate))
+			f1(ps[0]), f1(ps[1]),
+			f1(ps[2]), f1(ps[3]),
+			f3(ps[1]/nameplate))
 	}
 	out.TableB.Notes = append(out.TableB.Notes,
 		"paper: higher volume gives higher and lower-variance power (steeper CDF).")

@@ -69,10 +69,11 @@ func Fig5(o Options) (*Fig5Result, error) {
 		out.CDFs[class] = sample.CDF(50)
 		out.MeanPowerW[class] = sum.Mean()
 		out.PowerStdW[class] = sum.Std()
+		ps := sample.Percentiles(10, 50, 90)
 		out.TableA.AddRow(class.String(),
-			f1(sample.Percentile(10)), f1(sample.Percentile(50)),
-			f1(sample.Percentile(90)), f2(sum.Std()),
-			f3(sample.Percentile(50)/nameplate))
+			f1(ps[0]), f1(ps[1]),
+			f1(ps[2]), f2(sum.Std()),
+			f3(ps[1]/nameplate))
 
 		dynamicJ := res.TotalEnergyJ - idleEnergyJ(res, ccfg, res.Horizon)
 		served := res.CompletedAtk + res.CompletedLegit

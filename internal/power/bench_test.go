@@ -1,0 +1,49 @@
+package power
+
+import "testing"
+
+// benchMix is a representative four-class load mix with the generic (non
+// fast-path) frequency exponents of the workload catalog.
+var benchMix = []Component{
+	{Util: 0.30, Weight: 1.00, Alpha: 2.4},
+	{Util: 0.25, Weight: 0.95, Alpha: 1.1},
+	{Util: 0.20, Weight: 0.80, Alpha: 1.6},
+	{Util: 0.15, Weight: 0.55, Alpha: 2.0},
+}
+
+// BenchmarkModelPowerLadder measures one analytic power evaluation across
+// the ladder — the planning primitive the governors call in their inner
+// loops (BenchmarkModelPower above pins a single level).
+func BenchmarkModelPowerLadder(b *testing.B) {
+	m := DefaultModel()
+	levels := m.Ladder.Levels()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Power(m.Ladder.Level(i%levels), benchMix)
+	}
+}
+
+// benchIndexedMix is benchMix expressed against the exponent set
+// {2.4, 1.1, 1.6, 2.0}, for the memoized path.
+var benchExps = []float64{2.4, 1.1, 1.6, 2.0}
+
+var benchIndexedMix = []IndexedComponent{
+	{Util: 0.30, Weight: 1.00, Exp: 0},
+	{Util: 0.25, Weight: 0.95, Exp: 1},
+	{Util: 0.20, Weight: 0.80, Exp: 2},
+	{Util: 0.15, Weight: 0.55, Exp: 3},
+}
+
+// BenchmarkTablePowerLadder is the memoized twin of
+// BenchmarkModelPowerLadder: the same sweep through Table.Power.
+func BenchmarkTablePowerLadder(b *testing.B) {
+	m := DefaultModel()
+	t := NewTable(m, benchExps)
+	levels := m.Ladder.Levels()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Power(m.Ladder.Level(i%levels), benchIndexedMix)
+	}
+}

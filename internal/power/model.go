@@ -106,3 +106,82 @@ func pow(base, exp float64) float64 {
 	}
 	return powGeneric(base, exp)
 }
+
+// IndexedComponent is one load component whose frequency exponent is given
+// as an index into a Table's exponent set rather than a raw float — the
+// memoized twin of Component for the per-event hot path.
+type IndexedComponent struct {
+	// Util is the fraction of server compute capacity occupied, in [0,1].
+	Util float64
+	// Weight scales the dynamic power (see Component.Weight).
+	Weight float64
+	// Exp indexes the exponent list the Table was built with.
+	Exp int
+}
+
+// Table memoizes the frequency-dependent terms of a Model over its discrete
+// ladder: the idle draw at every level and pow(rel, e) for every level and
+// every exponent in a fixed set. Model.Power evaluates math.Pow per mix
+// component per call; Table.Power replaces that with two table lookups,
+// bit-identically — every cached value is produced by the exact expression
+// the analytic path would evaluate.
+type Table struct {
+	model Model
+	dyn   Watts
+	// idle[i] is Model.Idle at ladder level i; powRel[i][j] is
+	// pow(Rel(Level(i)), exps[j]).
+	idle   []Watts
+	powRel [][]float64
+}
+
+// NewTable precomputes a Table for the given exponent set. The exponent
+// order defines IndexedComponent.Exp; callers typically pass one exponent
+// per workload class, indexed by class.
+func NewTable(m Model, exps []float64) *Table {
+	levels := m.Ladder.Levels()
+	t := &Table{
+		model:  m,
+		dyn:    m.Dynamic(),
+		idle:   make([]Watts, levels),
+		powRel: make([][]float64, levels),
+	}
+	for i := 0; i < levels; i++ {
+		f := m.Ladder.Level(i)
+		rel := m.Ladder.Rel(f)
+		t.idle[i] = m.Idle(f)
+		row := make([]float64, len(exps))
+		for j, e := range exps {
+			row[j] = pow(rel, e)
+		}
+		t.powRel[i] = row
+	}
+	return t
+}
+
+// Model returns the model the table was built from.
+func (t *Table) Model() Model { return t.model }
+
+// Power is the memoized equivalent of Model.Power: it returns total server
+// draw for the given frequency and load mix, with every frequency-dependent
+// term looked up instead of recomputed. The result is bitwise identical to
+// the analytic path because Model.Power only depends on f through
+// Clamp(f) = Level(Index(f)), which is exactly how the table is indexed.
+func (t *Table) Power(f GHz, mix []IndexedComponent) Watts {
+	idx := t.model.Ladder.Index(f)
+	p := t.idle[idx]
+	row := t.powRel[idx]
+	for _, c := range mix {
+		if c.Util <= 0 {
+			continue
+		}
+		u := c.Util
+		if u > 1 {
+			u = 1
+		}
+		p += u * c.Weight * t.dyn * row[c.Exp]
+	}
+	if p > t.model.Nameplate {
+		p = t.model.Nameplate
+	}
+	return p
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	"antidope/internal/workload"
+)
+
+// TestHotPathAllocFree locks in the zero-allocation property of the
+// per-event server hot path: share recompute (Advance with no completions),
+// the earliest-completion scan, and the memoized power lookup. A regression
+// here reintroduces per-event garbage across every simulated second.
+func TestHotPathAllocFree(t *testing.T) {
+	s := benchServer(32)
+	now := 0.0
+	f := s.Freq()
+
+	if n := testing.AllocsPerRun(200, func() {
+		now += 1e-6
+		s.Advance(now)
+	}); n != 0 {
+		t.Errorf("Advance allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := s.NextCompletion(); !ok {
+			t.Fatal("no completion")
+		}
+	}); n != 0 {
+		t.Errorf("NextCompletion allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = s.PowerAt(f)
+		_ = s.PowerNow()
+	}); n != 0 {
+		t.Errorf("PowerAt/PowerNow allocates %v per run, want 0", n)
+	}
+
+	// Admitting work invalidates the cached mix; the next lookups rebuild it
+	// in place and must stay allocation-free too.
+	if !s.Admit(now, fixedReq(9001, workload.CollaFilt, 1e12)) {
+		t.Fatal("admit failed")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = s.PowerNow()
+	}); n != 0 {
+		t.Errorf("PowerNow after Admit allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+
+	"antidope/internal/power"
+	"antidope/internal/workload"
+)
+
+// benchServer returns a server with n in-flight requests spread across the
+// victim classes, each with enough demand that no benchmark loop completes
+// one — so Advance exercises the pure share-recompute path.
+func benchServer(n int) *Server {
+	s := MustNew(Config{ID: 0, Cores: 4, MaxInflight: n + 1, Model: power.DefaultModel()})
+	classes := workload.VictimClasses()
+	s.Advance(0)
+	for i := 0; i < n; i++ {
+		r := fixedReq(uint64(i+1), classes[i%len(classes)], 1e12)
+		if !s.Admit(0, r) {
+			panic("benchServer: admit failed")
+		}
+	}
+	return s
+}
+
+// BenchmarkAdvance measures the per-event share/remaining-work recompute:
+// one Advance over a populated active set with no completions.
+func BenchmarkAdvance(b *testing.B) {
+	s := benchServer(32)
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1e-6
+		s.Advance(now)
+	}
+}
+
+// BenchmarkNextCompletion measures the earliest-completion scan, the other
+// half of every completion-rescheduling decision.
+func BenchmarkNextCompletion(b *testing.B) {
+	s := benchServer(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.NextCompletion(); !ok {
+			b.Fatal("no completion")
+		}
+	}
+}
+
+// BenchmarkPowerAt measures one un-memoized power evaluation at the current
+// operating point: active-set mix summary plus the analytic model.
+func BenchmarkPowerAt(b *testing.B) {
+	s := benchServer(32)
+	f := s.Freq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.PowerAt(f)
+	}
+}
+
+// BenchmarkAdvanceCompleting measures Advance when every call harvests
+// completions — the allocation-heavy variant of the hot path.
+func BenchmarkAdvanceCompleting(b *testing.B) {
+	s := MustNew(Config{ID: 0, Cores: 4, MaxInflight: 8, Model: power.DefaultModel()})
+	now := 0.0
+	s.Advance(now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := fixedReq(uint64(i+1), workload.CollaFilt, 1e-6)
+		if !s.Admit(now, r) {
+			b.Fatal("admit failed")
+		}
+		now += 1
+		if got := len(s.Advance(now)); got != 1 {
+			b.Fatalf("completions = %d, want 1", got)
+		}
+	}
+}

@@ -7,6 +7,13 @@
 // frequency are unchanged, every request progresses linearly, so the next
 // completion instant can be computed in closed form and the power draw is
 // piecewise constant. The simulation driver advances servers lazily.
+//
+// The per-event math is memoized (see DESIGN.md "Performance model"): the
+// per-class speed factors pow(f/f_max, beta) are recomputed only when the
+// frequency moves, the power model's ladder terms live in a precomputed
+// power.Table, and the active-set mix summary is cached under the server's
+// version counter — so the arrival/completion path does table lookups
+// instead of math.Pow.
 package server
 
 import (
@@ -42,9 +49,25 @@ type Server struct {
 	rejected      uint64
 	lastPower     float64
 	powerDirty    bool
-	cachedPerf    map[workload.Class]profileCache
 	demandServed  float64
 	freqChangeCnt uint64
+
+	// perf is the per-class profile cache; an array because the class space
+	// is small, dense and hit on every request advance.
+	perf [workload.NumClasses]profileCache
+	// speedTab[c] is pow(Rel(freq), beta_c) at the current frequency — the
+	// demand-depletion factor of class c — recomputed only on CapFreq.
+	speedTab [workload.NumClasses]float64
+	// ptab memoizes the power model's frequency terms per ladder level,
+	// with one exponent slot per class (Exp = int(class)).
+	ptab *power.Table
+	// mixBuf is the cached active-set mix summary; mixVer stamps the server
+	// version it was built at so arrivals/completions invalidate it.
+	mixBuf   []power.IndexedComponent
+	mixVer   uint64
+	mixValid bool
+	// doneBuf backs the slice Advance returns, reused across calls.
+	doneBuf []*workload.Request
 }
 
 type profileCache struct {
@@ -78,13 +101,16 @@ func New(cfg Config) (*Server, error) {
 		MaxInflight: cfg.MaxInflight,
 		Model:       cfg.Model,
 		freq:        cfg.Model.Ladder.Max,
-		cachedPerf:  make(map[workload.Class]profileCache, workload.NumClasses),
 		powerDirty:  true,
 	}
+	var alphas [workload.NumClasses]float64
 	for c := workload.Class(0); int(c) < workload.NumClasses; c++ {
 		p := workload.Lookup(c)
-		s.cachedPerf[c] = profileCache{beta: p.PerfBeta, weight: p.PowerWeight, alpha: p.PowerAlpha}
+		s.perf[c] = profileCache{beta: p.PerfBeta, weight: p.PowerWeight, alpha: p.PowerAlpha}
+		alphas[c] = p.PowerAlpha
 	}
+	s.ptab = power.NewTable(cfg.Model, alphas[:])
+	s.refreshSpeedTab()
 	return s, nil
 }
 
@@ -95,6 +121,16 @@ func MustNew(cfg Config) *Server {
 		panic(err)
 	}
 	return s
+}
+
+// refreshSpeedTab recomputes the per-class depletion factors for the
+// current frequency. This is the only math.Pow site left on the simulation
+// path, and it runs per frequency change, not per request.
+func (s *Server) refreshSpeedTab() {
+	rel := s.Model.Ladder.Rel(s.freq)
+	for c := range s.perf {
+		s.speedTab[c] = math.Pow(rel, s.perf[c].beta)
+	}
 }
 
 // Version increments whenever the server's dynamics change (arrival,
@@ -136,14 +172,16 @@ func (s *Server) share() float64 {
 // speedOf returns the demand-depletion rate of one request at the current
 // operating point: core share × (f/f_max)^beta.
 func (s *Server) speedOf(r *workload.Request) float64 {
-	rel := s.Model.Ladder.Rel(s.freq)
-	pc := s.cachedPerf[r.Class]
-	return s.share() * math.Pow(rel, pc.beta)
+	return s.share() * s.speedTab[r.Class]
 }
 
 // Advance moves the server's internal clock to now, depleting demand and
 // integrating energy. It returns requests that completed, with FinishAt
 // set. Advance must be called with non-decreasing now.
+//
+// The returned slice is owned by the server and reused: it is valid until
+// the next Advance or FailAll call. Callers that need the requests longer
+// must copy them out first; the simulation driver consumes them in place.
 func (s *Server) Advance(now float64) []*workload.Request {
 	dt := now - s.lastAdv
 	if dt < 0 {
@@ -159,9 +197,11 @@ func (s *Server) Advance(now float64) []*workload.Request {
 
 	var done []*workload.Request
 	if len(s.active) > 0 {
+		done = s.doneBuf[:0]
+		sh := s.share()
 		keep := s.active[:0]
 		for _, r := range s.active {
-			r.Remaining -= s.speedOf(r) * dt
+			r.Remaining -= sh * s.speedTab[r.Class] * dt
 			if r.Remaining <= 1e-9 {
 				r.Remaining = 0
 				r.FinishAt = now
@@ -173,9 +213,12 @@ func (s *Server) Advance(now float64) []*workload.Request {
 			}
 		}
 		s.active = keep
+		s.doneBuf = done
 		if len(done) > 0 {
 			s.version++
 			s.powerDirty = true
+		} else {
+			done = nil
 		}
 	}
 	s.lastAdv = now
@@ -210,8 +253,9 @@ func (s *Server) NextCompletion() (at float64, ok bool) {
 		return 0, false
 	}
 	best := math.Inf(1)
+	sh := s.share()
 	for _, r := range s.active {
-		sp := s.speedOf(r)
+		sp := sh * s.speedTab[r.Class]
 		if sp <= 0 {
 			continue
 		}
@@ -226,35 +270,40 @@ func (s *Server) NextCompletion() (at float64, ok bool) {
 	return s.lastAdv + best, true
 }
 
-// mix summarizes the active set as power-model components, one per class.
-func (s *Server) mix() []power.Component {
-	if len(s.active) == 0 {
-		return nil
+// mix summarizes the active set as indexed power-model components, one per
+// class, cached under the version counter so repeated power queries at an
+// unchanged operating point (the governors' planning loops) reuse it.
+func (s *Server) mix() []power.IndexedComponent {
+	if s.mixValid && s.mixVer == s.version {
+		return s.mixBuf
 	}
-	var counts [workload.NumClasses]int
-	for _, r := range s.active {
-		counts[r.Class]++
-	}
-	share := s.share()
-	out := make([]power.Component, 0, 4)
-	for c, n := range counts {
-		if n == 0 {
-			continue
+	s.mixBuf = s.mixBuf[:0]
+	if len(s.active) > 0 {
+		var counts [workload.NumClasses]int
+		for _, r := range s.active {
+			counts[r.Class]++
 		}
-		pc := s.cachedPerf[workload.Class(c)]
-		out = append(out, power.Component{
-			Util:   float64(n) * share / float64(s.Cores),
-			Weight: pc.weight,
-			Alpha:  pc.alpha,
-		})
+		share := s.share()
+		for c, n := range counts {
+			if n == 0 {
+				continue
+			}
+			s.mixBuf = append(s.mixBuf, power.IndexedComponent{
+				Util:   float64(n) * share / float64(s.Cores),
+				Weight: s.perf[c].weight,
+				Exp:    c,
+			})
+		}
 	}
-	return out
+	s.mixVer = s.version
+	s.mixValid = true
+	return s.mixBuf
 }
 
 // PowerNow returns the instantaneous draw at the current operating point.
 func (s *Server) PowerNow() power.Watts {
 	if s.powerDirty {
-		s.lastPower = s.Model.Power(s.freq, s.mix())
+		s.lastPower = s.ptab.Power(s.freq, s.mix())
 		s.powerDirty = false
 	}
 	return s.lastPower
@@ -263,7 +312,7 @@ func (s *Server) PowerNow() power.Watts {
 // PowerAt predicts the draw if the frequency were capped to f with the
 // current load mix — the governor's planning primitive.
 func (s *Server) PowerAt(f power.GHz) power.Watts {
-	return s.Model.Power(f, s.mix())
+	return s.ptab.Power(f, s.mix())
 }
 
 // Freq returns the current operating frequency.
@@ -282,6 +331,7 @@ func (s *Server) CapFreq(f power.GHz) {
 	s.version++
 	s.powerDirty = true
 	s.freqChangeCnt++
+	s.refreshSpeedTab()
 }
 
 // Utilization returns the fraction of core capacity in use right now.
@@ -302,10 +352,8 @@ func (s *Server) ClassCounts() map[workload.Class]int {
 // came, for battery-autonomy planning. Returns 0 when idle.
 func (s *Server) DrainDeadline() float64 {
 	total := 0.0
-	rel := s.Model.Ladder.Rel(s.freq)
 	for _, r := range s.active {
-		pc := s.cachedPerf[r.Class]
-		total += r.Remaining / math.Pow(rel, pc.beta)
+		total += r.Remaining / s.speedTab[r.Class]
 	}
 	if total == 0 { //lint:allow floateq -- exact: a sum of non-negatives is 0 iff no work remains
 		return 0

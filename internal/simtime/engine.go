@@ -2,10 +2,16 @@
 // virtual clock and an event queue ordered by timestamp with deterministic
 // FIFO tie-breaking. All simulator components share one Engine; wall-clock
 // time never appears anywhere in the simulation.
+//
+// The queue is built for throughput: a 4-ary array heap (shallower than a
+// binary heap, so fewer cache lines per sift), a free-list event pool so
+// steady-state schedule/fire cycles allocate nothing, and lazy cancellation
+// with compaction — cancelled events are skipped when popped, and the heap
+// is rebuilt without them once they outnumber the live events. See
+// DESIGN.md "Performance model".
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -13,67 +19,79 @@ import (
 // Seconds is the unit of simulated time throughout the repository.
 type Seconds = float64
 
-// Event is a scheduled callback. Events fire in timestamp order; events with
-// equal timestamps fire in scheduling order, which keeps runs reproducible.
-type Event struct {
-	at  Seconds
-	seq uint64
-	fn  func(now Seconds)
-	// cancelled events stay in the heap but are skipped when popped; this is
-	// cheaper than heap removal and keeps cancellation O(1).
+// event is the pooled storage behind an Event handle. Events fire in
+// timestamp order; events with equal timestamps fire in scheduling order
+// (seq), which keeps runs reproducible. gen increments every time the
+// struct is recycled, so stale handles from a previous tenancy are inert.
+type event struct {
+	at        Seconds
+	seq       uint64
+	gen       uint64
+	fn        func(now Seconds)
+	eng       *Engine
 	cancelled bool
-	index     int
 }
 
-// Cancel marks the event so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// Event is a cancellation handle for one scheduled callback. Handles are
+// small values; the zero Event is valid and refers to nothing. A handle
+// outlives its event safely: once the event fires or is recycled, Cancel
+// and Pending become no-ops on it.
+type Event struct {
+	ev  *event
+	gen uint64
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired,
+// already-cancelled, or zero event is a no-op — in particular a double
+// Cancel does not corrupt the engine's live-event accounting.
+func (e Event) Cancel() {
+	ev := e.ev
+	if ev == nil || ev.gen != e.gen || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	eng := ev.eng
+	eng.live--
+	// Lazily-cancelled events rot in the heap; once they outnumber the
+	// live ones, one O(n) rebuild reclaims them all.
+	if len(eng.events) >= compactMin && len(eng.events)-eng.live > eng.live {
+		eng.compact()
 	}
 }
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+// Pending reports whether the event is still queued to fire: scheduled,
+// not cancelled, not yet fired.
+func (e Event) Pending() bool {
+	return e.ev != nil && e.ev.gen == e.gen && !e.ev.cancelled
+}
 
-// At returns the timestamp the event is scheduled for.
-func (e *Event) At() Seconds { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	//lint:allow floateq -- deliberate: only bit-identical timestamps tie-break by seq
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// At returns the timestamp the event is scheduled for, or 0 once it has
+// fired, been cancelled and reclaimed, or for the zero handle.
+func (e Event) At() Seconds {
+	if !e.Pending() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return e.ev.at
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+
+// compactMin is the queue size below which compaction is not worth the
+// rebuild; tiny queues recycle cancelled events at pop time anyway.
+const compactMin = 64
 
 // Engine owns the virtual clock and the pending event set.
 type Engine struct {
-	now    Seconds
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Seconds
+	seq   uint64
+	fired uint64
+
+	// events is a 4-ary min-heap ordered by (at, seq). Cancelled events
+	// stay in place until popped or compacted away.
+	events []*event
+	// live counts non-cancelled queued events, making Pending() O(1).
+	live int
+	// free is the event pool: structs recycled on fire, cancelled-pop and
+	// compaction, reused by the next Schedule.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -89,51 +107,77 @@ func (e *Engine) Now() Seconds { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of live (non-cancelled) events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule queues fn to run at the given absolute time. Scheduling in the
 // past (before Now) panics: that is always a simulator bug, and silently
 // clamping it would hide causality violations.
-func (e *Engine) Schedule(at Seconds, fn func(now Seconds)) *Event {
+func (e *Engine) Schedule(at Seconds, fn func(now Seconds)) Event {
 	if math.IsNaN(at) {
 		panic("simtime: schedule at NaN")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("simtime: schedule at %.9f before now %.9f", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.cancelled = false
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.live++
+	e.push(ev)
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // After queues fn to run delay seconds from now.
-func (e *Engine) After(delay Seconds, fn func(now Seconds)) *Event {
+func (e *Engine) After(delay Seconds, fn func(now Seconds)) Event {
 	return e.Schedule(e.now+delay, fn)
+}
+
+// recycle returns a popped event struct to the pool. Bumping gen first
+// makes every outstanding handle to it inert.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil // release the closure; pooled structs must not pin memory
+	e.free = append(e.free, ev)
+}
+
+// pop removes and returns the earliest live event, recycling any cancelled
+// events it uncovers. It returns nil when the queue has no live events.
+func (e *Engine) pop() *event {
+	for len(e.events) > 0 {
+		ev := e.popMin()
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		e.live--
+		return ev
+	}
+	return nil
 }
 
 // Step fires the single earliest pending event. It returns false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn(e.now)
-		return true
+	ev := e.pop()
+	if ev == nil {
+		return false
 	}
-	return false
+	at, fn := ev.at, ev.fn
+	e.recycle(ev)
+	e.now = at
+	e.fired++
+	fn(e.now)
+	return true
 }
 
 // RunUntil fires events in order until the clock would pass horizon or the
@@ -141,32 +185,137 @@ func (e *Engine) Step() bool {
 // so that periodic processes can resume cleanly.
 func (e *Engine) RunUntil(horizon Seconds) {
 	for len(e.events) > 0 {
-		// Peek.
-		ev := e.events[0]
-		if ev.cancelled {
-			heap.Pop(&e.events)
+		// Peek; recycle cancelled tops without firing.
+		top := e.events[0]
+		if top.cancelled {
+			e.recycle(e.popMin())
 			continue
 		}
-		if ev.at > horizon {
+		if top.at > horizon {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = ev.at
+		ev := e.popMin()
+		e.live--
+		at, fn := ev.at, ev.fn
+		e.recycle(ev)
+		e.now = at
 		e.fired++
-		ev.fn(e.now)
+		fn(e.now)
 	}
 	if e.now < horizon {
 		e.now = horizon
 	}
 }
 
+// compact rebuilds the heap without its cancelled events and recycles them.
+// Live events keep their (at, seq) keys, so the pop order — the only thing
+// the determinism contract pins — is unchanged.
+func (e *Engine) compact() {
+	keep := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			e.recycle(ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	// Zero the vacated tail so the backing array stops pinning the moved
+	// pointers twice.
+	for i := len(keep); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = keep
+	// Standard heapify: sift down every internal node, last parent first.
+	// (Guard the small cases: Go truncates -2/arity to 0.)
+	if n := len(keep); n > 1 {
+		for i := (n - 2) / arity; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+}
+
+// The event heap is 4-ary: children of i are arity*i+1 .. arity*i+arity,
+// parent of i is (i-1)/arity. Shallower than binary, so a sift touches
+// ~half the levels; the extra child comparisons are cheap and local.
+const arity = 4
+
+// less orders the heap by timestamp, then by scheduling order.
+func less(a, b *event) bool {
+	//lint:allow floateq -- deliberate: only bit-identical timestamps tie-break by seq
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap property.
+func (e *Engine) push(ev *event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / arity
+		if !less(e.events[i], e.events[parent]) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the heap root without looking at cancellation.
+func (e *Engine) popMin() *event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return root
+}
+
+// siftDown restores the heap property below node i.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	node := h[i]
+	for {
+		first := arity*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest child.
+		best := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !less(h[best], node) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = node
+}
+
 // Ticker repeatedly schedules fn every period, starting at start, until the
-// engine stops being run. Cancel the returned ticker to stop it.
+// engine stops being run. Stop the returned ticker to cancel future ticks.
 type Ticker struct {
 	engine *Engine
 	period Seconds
 	fn     func(now Seconds)
-	ev     *Event
+	// fireFn is the bound method value, created once so re-arming each
+	// period does not allocate a fresh closure.
+	fireFn func(now Seconds)
+	ev     Event
 	done   bool
 }
 
@@ -176,7 +325,8 @@ func (e *Engine) Tick(start, period Seconds, fn func(now Seconds)) *Ticker {
 		panic("simtime: non-positive tick period")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.ev = e.Schedule(start, t.fire)
+	t.fireFn = t.fire
+	t.ev = e.Schedule(start, t.fireFn)
 	return t
 }
 
@@ -186,12 +336,23 @@ func (t *Ticker) fire(now Seconds) {
 	}
 	t.fn(now)
 	if !t.done {
-		t.ev = t.engine.Schedule(now+t.period, t.fire)
+		t.ev = t.engine.Schedule(now+t.period, t.fireFn)
 	}
 }
 
-// Stop cancels all future ticks.
+// Stop cancels all future ticks. Stopping twice is a no-op.
 func (t *Ticker) Stop() {
 	t.done = true
 	t.ev.Cancel()
+}
+
+// Restart re-arms a stopped ticker to resume at the given absolute time
+// with its original period and callback. Restarting a running ticker
+// panics: two live arming chains would double-fire every period.
+func (t *Ticker) Restart(start Seconds) {
+	if !t.done {
+		panic("simtime: restart of a running ticker")
+	}
+	t.done = false
+	t.ev = t.engine.Schedule(start, t.fireFn)
 }

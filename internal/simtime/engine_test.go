@@ -50,21 +50,56 @@ func TestCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.Schedule(1, func(now Seconds) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
 	ev.Cancel()
+	if ev.Pending() {
+		t.Fatal("Pending() true after Cancel")
+	}
 	e.RunUntil(2)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() false after Cancel")
+}
+
+func TestZeroEventSafe(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+	if ev.Pending() {
+		t.Fatal("zero event reports pending")
+	}
+	if ev.At() != 0 {
+		t.Fatal("zero event has a timestamp")
 	}
 }
 
-func TestCancelNilSafe(t *testing.T) {
-	var ev *Event
-	ev.Cancel() // must not panic
-	if ev.Cancelled() {
-		t.Fatal("nil event reports cancelled")
+func TestStaleHandleInert(t *testing.T) {
+	// A handle kept across its event's fire must not cancel whatever
+	// recycled event struct now occupies the pool slot.
+	e := NewEngine()
+	firstFired, secondFired := false, false
+	stale := e.Schedule(1, func(now Seconds) { firstFired = true })
+	e.RunUntil(1.5) // fires and recycles the first event
+	fresh := e.Schedule(2, func(now Seconds) { secondFired = true })
+	stale.Cancel() // must be a no-op, not cancel the recycled struct
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel hit the recycled event")
+	}
+	e.RunUntil(3)
+	if !firstFired || !secondFired {
+		t.Fatalf("fired = %v/%v, want true/true", firstFired, secondFired)
+	}
+}
+
+func TestDoubleCancelDoesNotDoubleDecrement(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func(now Seconds) {})
+	e.Schedule(2, func(now Seconds) {})
+	a.Cancel()
+	a.Cancel() // second cancel must not decrement the live counter again
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after double cancel, want 1", got)
 	}
 }
 
@@ -219,4 +254,184 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		}
 		e.RunUntil(100)
 	}
+}
+
+// BenchmarkScheduleFireSteady measures the steady-state schedule+fire cycle
+// on a warm engine: the per-event cost every simulated arrival and
+// completion pays.
+func BenchmarkScheduleFireSteady(b *testing.B) {
+	e := NewEngine()
+	fn := func(now Seconds) {}
+	// Warm the engine so slice growth is out of the measured loop.
+	for j := 0; j < 64; j++ {
+		e.Schedule(float64(j), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(float64(i+64), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the cancel-heavy pattern the completion
+// rescheduler produces: most scheduled events are superseded before firing.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(now Seconds) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(float64(i), fn)
+		ev.Cancel()
+		if i%4 == 3 {
+			e.Schedule(float64(i), fn)
+			e.Step()
+		}
+	}
+}
+
+func TestCancelCompactOrdering(t *testing.T) {
+	// Cancel enough events to trigger heap compaction, then verify the
+	// survivors still fire in exact (timestamp, scheduling-order) order.
+	e := NewEngine()
+	var order []int
+	var cancels []Event
+	for i := 0; i < 400; i++ {
+		i := i
+		ev := e.Schedule(float64(i%13), func(now Seconds) { order = append(order, i) })
+		if i%4 != 0 {
+			cancels = append(cancels, ev)
+		}
+	}
+	for _, ev := range cancels {
+		ev.Cancel() // crosses the cancelled > live threshold mid-loop
+	}
+	if got, want := e.Pending(), 100; got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	e.RunUntil(20)
+	if len(order) != 100 {
+		t.Fatalf("fired %d events, want 100", len(order))
+	}
+	// Survivors are i%4==0 in increasing i within each timestamp bucket;
+	// buckets fire in timestamp order (i%13).
+	want := make([]int, 0, 100)
+	for ts := 0; ts < 13; ts++ {
+		for i := 0; i < 400; i++ {
+			if i%4 == 0 && i%13 == ts {
+				want = append(want, i)
+			}
+		}
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (compaction broke ordering)", i, order[i], want[i])
+		}
+	}
+}
+
+func TestCompactionRecyclesIntoPool(t *testing.T) {
+	e := NewEngine()
+	fn := func(now Seconds) {}
+	var evs []Event
+	for i := 0; i < 256; i++ {
+		evs = append(evs, e.Schedule(float64(i), fn))
+	}
+	for _, ev := range evs[:200] {
+		ev.Cancel()
+	}
+	// Compaction must have run: the raw heap can hold at most the live
+	// events plus a sub-majority of cancelled ones.
+	if got := len(e.events); got > 2*e.live {
+		t.Fatalf("heap holds %d entries for %d live events; compaction missing", got, e.live)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("compaction recycled nothing into the pool")
+	}
+	e.RunUntil(300)
+	if e.Fired() != 56 {
+		t.Fatalf("Fired = %d, want 56", e.Fired())
+	}
+}
+
+func TestScheduleFireAllocBudget(t *testing.T) {
+	// The pool's contract: steady-state schedule+fire on a warm engine is
+	// allocation-free (≤1 amortized covers pathological pauses).
+	e := NewEngine()
+	fn := func(now Seconds) {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(float64(i), fn)
+	}
+	e.RunUntil(64)
+	next := 65.0
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(next, fn)
+		e.Step()
+		next++
+	})
+	if avg > 1 {
+		t.Fatalf("schedule+fire allocates %.2f/op, want <= 1 amortized", avg)
+	}
+}
+
+func TestCancelAllocBudget(t *testing.T) {
+	e := NewEngine()
+	fn := func(now Seconds) {}
+	next := 1.0
+	avg := testing.AllocsPerRun(1000, func() {
+		ev := e.Schedule(next, fn)
+		ev.Cancel()
+		next++
+	})
+	if avg > 1 {
+		t.Fatalf("schedule+cancel allocates %.2f/op, want <= 1 amortized", avg)
+	}
+}
+
+func TestPendingO1AfterFire(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func(now Seconds) {})
+	}
+	e.Step()
+	e.Step()
+	if got := e.Pending(); got != 8 {
+		t.Fatalf("Pending = %d after two fires, want 8", got)
+	}
+}
+
+func TestTickerRestart(t *testing.T) {
+	e := NewEngine()
+	var ticks []Seconds
+	tk := e.Tick(0, 1, func(now Seconds) { ticks = append(ticks, now) })
+	e.RunUntil(2.5) // ticks at 0, 1, 2
+	tk.Stop()
+	tk.Stop() // double Stop is a no-op
+	e.RunUntil(5)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks after Stop = %v", ticks)
+	}
+	tk.Restart(7)
+	e.RunUntil(8.5) // ticks at 7, 8
+	want := []Seconds{0, 1, 2, 7, 8}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks after Restart = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks after Restart = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerRestartWhileRunningPanics(t *testing.T) {
+	e := NewEngine()
+	tk := e.Tick(0, 1, func(now Seconds) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restart of a running ticker did not panic")
+		}
+	}()
+	tk.Restart(5)
 }

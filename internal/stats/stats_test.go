@@ -499,3 +499,95 @@ func TestSparklineFlatAndEmpty(t *testing.T) {
 		t.Fatal("zero width")
 	}
 }
+
+func TestValuesDefensiveCopy(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, 1, 2} {
+		s.Add(x)
+	}
+	got := s.Values()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Values = %v, want [1 2 3]", got)
+	}
+	// Mutating the returned slice must not corrupt the sample...
+	got[0] = 99
+	if s.Min() != 1 || s.Percentile(0) != 1 {
+		t.Fatal("mutating Values() leaked into the sample")
+	}
+	// ...and later Adds must not invalidate an earlier snapshot.
+	snap := s.Values()
+	s.Add(-7)
+	if snap[0] != 1 {
+		t.Fatalf("snapshot changed after Add: %v", snap)
+	}
+	if s.Min() != -7 {
+		t.Fatalf("Min after Add = %g, want -7", s.Min())
+	}
+}
+
+func TestIncrementalSortMatchesFullSort(t *testing.T) {
+	// Interleaving Adds and quantile queries must yield exactly the order a
+	// single full sort would: the suffix-sort+merge is an implementation
+	// detail, not an approximation.
+	f := func(raw []float64, cuts []uint8) bool {
+		var s Sample
+		ref := make([]float64, 0, len(raw))
+		ci := 0
+		for i, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			s.Add(x)
+			ref = append(ref, x)
+			// Interleave queries at fuzz-chosen points to exercise merges.
+			if ci < len(cuts) && int(cuts[ci])%(len(raw)+1) == i {
+				_ = s.Percentile(50)
+				ci++
+			}
+		}
+		sort.Float64s(ref)
+		got := s.Values()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilesBatch(t *testing.T) {
+	var s Sample
+	for i := 100; i >= 1; i-- {
+		s.Add(float64(i))
+	}
+	got := s.Percentiles(10, 50, 90, 99)
+	want := []float64{s.Percentile(10), s.Percentile(50), s.Percentile(90), s.Percentile(99)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Percentiles[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkPercentileInterleaved is the adversarial pattern for the
+// incremental sort: every query follows a fresh Add, so each query pays a
+// one-element merge instead of a full re-sort.
+func BenchmarkPercentileInterleaved(b *testing.B) {
+	var s Sample
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i * 2654435761 % 1000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 1000))
+		_ = s.Percentile(90)
+	}
+}

@@ -115,32 +115,78 @@ func (s Summary) String() string {
 // Sample stores every observation for exact percentile queries. The
 // simulator's runs are short enough (≤ a few million samples) that exact
 // storage is cheaper than the complexity of a sketch.
+//
+// Sortedness is maintained incrementally: Add only appends, and a quantile
+// query sorts just the suffix appended since the last query, merging it
+// into the already-sorted prefix in one linear pass — so interleaved
+// Add/Percentile workloads stop paying a full re-sort per query.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs []float64
+	// sortedN is the length of the sorted prefix of xs; everything past it
+	// was Added since the last quantile query.
+	sortedN int
+	// scratch backs the merge pass, retained across queries.
+	scratch []float64
 }
 
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
 }
 
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.xs) }
 
-// Values returns the sorted observations. The returned slice is owned by
-// the Sample; callers must not modify it.
+// Values returns the sorted observations as a fresh slice the caller owns:
+// mutating it cannot corrupt the sample, and later Adds cannot invalidate
+// the returned snapshot.
 func (s *Sample) Values() []float64 {
 	s.sort()
-	return s.xs
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
 }
 
+// sort brings the whole sample into sorted order. Only the unsorted suffix
+// pays an O(k log k) sort; folding it into the sorted prefix is linear.
 func (s *Sample) sort() {
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	n := len(s.xs)
+	if s.sortedN == n {
+		return
 	}
+	tail := s.xs[s.sortedN:]
+	sort.Float64s(tail)
+	if s.sortedN > 0 && s.xs[s.sortedN-1] > tail[0] {
+		// The runs overlap: merge prefix (copied to scratch) and tail back
+		// into xs. The write index i+j never catches the unread tail at
+		// sortedN+j, so the merge is safe in place.
+		if cap(s.scratch) < s.sortedN {
+			// Grow geometrically: interleaved Add/query workloads extend the
+			// prefix by a few elements per merge, and exact-size allocation
+			// would re-allocate the scratch on every query.
+			s.scratch = make([]float64, 0, 2*s.sortedN)
+		}
+		head := s.scratch[:s.sortedN]
+		copy(head, s.xs[:s.sortedN])
+		i, j, w := 0, 0, 0
+		for i < len(head) && j < len(tail) {
+			if tail[j] < head[i] {
+				s.xs[w] = tail[j]
+				j++
+			} else {
+				s.xs[w] = head[i]
+				i++
+			}
+			w++
+		}
+		for i < len(head) {
+			s.xs[w] = head[i]
+			i++
+			w++
+		}
+		// Any remaining tail elements are already in their final slots.
+	}
+	s.sortedN = n
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
@@ -164,6 +210,16 @@ func (s *Sample) Percentile(p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Percentiles returns the percentile for each p in ps. The batch form the
+// report tables use: one sort/merge pass serves every quantile.
+func (s *Sample) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Percentile(p)
+	}
+	return out
 }
 
 // Mean returns the sample mean, or 0 with no samples.
