@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet lint test race fuzz verify bench
+.PHONY: build vet lint test race fuzz chaos verify bench
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ race:
 # Coverage-guided smoke of the full simulator; CI runs the same budget.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSim -fuzztime=30s ./internal/core
+
+# Fault-injection suite under the race detector plus a fuzz smoke that feeds
+# malformed fault schedules into full runs; mirrors the CI chaos job. See
+# DESIGN.md "Fault model & graceful degradation".
+chaos:
+	$(GO) test -race -count=1 ./internal/faults
+	$(GO) test -race -count=1 -run 'Fault|Crash|Telemetry|Firewall|Breaker|Failed|Fade|Down|Recovered' ./internal/core ./internal/server ./internal/netlb ./internal/battery ./internal/defense
+	$(GO) test -race -count=1 -run 'TestResilience' ./internal/experiments
+	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/core
 
 # Tier-1 verify: what every PR must keep green. The lint target already
 # includes go vet, and race subsumes plain test.

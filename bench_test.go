@@ -345,6 +345,19 @@ func BenchmarkRobustness(b *testing.B) {
 	}
 }
 
+// BenchmarkResilience runs the fault-intensity degradation sweep.
+func BenchmarkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Resilience(opts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.SLA) == 0 {
+			b.Fatal("resilience empty")
+		}
+	}
+}
+
 // BenchmarkAllQuick runs the entire quick suite twice per configuration —
 // once sequentially, once with the harness's default worker count — so a
 // single -bench run shows the parallel speedup. On a multi-core runner the

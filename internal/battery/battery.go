@@ -29,6 +29,10 @@ type UPS struct {
 	lastMode   int     // -1 discharging, +1 charging, 0 idle
 	minLevel   float64 // deepest level reached, for depth-of-discharge wear
 	everUsed   bool
+
+	// failed marks an offline string (fault injection): inverter and
+	// charger deliver nothing while the stored charge holds.
+	failed bool
 }
 
 // Sized returns a UPS able to sustain sustainW for autonomy seconds, the
@@ -89,7 +93,7 @@ func (u *UPS) Empty() bool { return u.level <= 1e-9 }
 // seconds (capped by the inverter rating). Zero draw returns +Inf behaviour
 // as a very large number is avoided; callers treat 0 draw specially.
 func (u *UPS) AutonomyAt(drawW float64) float64 {
-	if drawW <= 0 {
+	if u.failed || drawW <= 0 {
 		return 0
 	}
 	if drawW > u.MaxDischargeW {
@@ -106,7 +110,7 @@ func (u *UPS) AutonomyAt(drawW float64) float64 {
 // energy. Delivered power reduces the stored level one-for-one (round-trip
 // losses are applied on charge).
 func (u *UPS) Discharge(wantW, dt float64) (gotW float64) {
-	if wantW <= 0 || dt <= 0 || u.Empty() {
+	if u.failed || wantW <= 0 || dt <= 0 || u.Empty() {
 		return 0
 	}
 	gotW = wantW
@@ -137,7 +141,7 @@ func (u *UPS) Discharge(wantW, dt float64) (gotW float64) {
 // seconds. It returns the utility power actually consumed (including
 // conversion losses). A full or absent battery consumes nothing.
 func (u *UPS) Charge(availW, dt float64) (usedW float64) {
-	if availW <= 0 || dt <= 0 || u.CapacityJ <= 0 {
+	if u.failed || availW <= 0 || dt <= 0 || u.CapacityJ <= 0 {
 		return 0
 	}
 	room := u.CapacityJ - u.level
@@ -157,6 +161,34 @@ func (u *UPS) Charge(availW, dt float64) (usedW float64) {
 	u.charged += usedW * dt
 	u.lastMode = 1
 	return usedW
+}
+
+// SetFailed marks the string offline (true) or restores it (false). While
+// failed, Discharge and Charge deliver nothing; the stored charge holds, so
+// a restored string resumes from the level it failed at.
+func (u *UPS) SetFailed(failed bool) { u.failed = failed }
+
+// Failed reports whether the string is offline.
+func (u *UPS) Failed() bool { return u.failed }
+
+// Fade reduces the usable capacity to frac of its current value, clamped to
+// [0,1] — aged cells failing a capacity test. Stored energy above the new
+// ceiling is gone with it. Wear metrics (EquivalentFullCycles, DoD) are
+// measured against the current usable capacity from then on.
+func (u *UPS) Fade(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	u.CapacityJ *= frac
+	if u.level > u.CapacityJ {
+		u.level = u.CapacityJ
+	}
+	if u.minLevel > u.CapacityJ {
+		u.minLevel = u.CapacityJ
+	}
 }
 
 // DischargedJ returns total joules delivered to the load so far.

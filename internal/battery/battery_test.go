@@ -271,3 +271,136 @@ func TestLifeConsumed(t *testing.T) {
 		t.Fatal("shallow cycling should wear less than one deep cycle")
 	}
 }
+
+// --- fault-injection and edge-case coverage ---
+
+func TestDischargeChargeZeroDt(t *testing.T) {
+	u := Sized(100, 10) // 1000 J, full
+	if got := u.Discharge(50, 0); got != 0 {
+		t.Fatalf("Discharge with dt=0 delivered %g, want 0", got)
+	}
+	u.SetSoC(0.5)
+	if got := u.Charge(50, 0); got != 0 {
+		t.Fatalf("Charge with dt=0 consumed %g, want 0", got)
+	}
+	if u.SoC() != 0.5 {
+		t.Fatalf("zero-dt operations moved the level: SoC %g", u.SoC())
+	}
+	if u.DischargedJ() != 0 || u.ChargedJ() != 0 {
+		t.Fatal("zero-dt operations touched the energy ledger")
+	}
+}
+
+func TestSoCClampsAtZeroAndOne(t *testing.T) {
+	u := Sized(100, 10) // 1000 J
+	// Overdraw far beyond the stored energy: level must clamp at 0.
+	for i := 0; i < 50; i++ {
+		u.Discharge(100, 10)
+	}
+	if u.SoC() != 0 {
+		t.Fatalf("SoC after overdraw %g, want 0", u.SoC())
+	}
+	if !u.Empty() {
+		t.Fatal("overdrawn battery not Empty")
+	}
+	if u.Level() < 0 {
+		t.Fatalf("level went negative: %g", u.Level())
+	}
+	// Overcharge far beyond capacity: level must clamp at capacity.
+	for i := 0; i < 500; i++ {
+		u.Charge(1000, 10)
+	}
+	if u.SoC() != 1 {
+		t.Fatalf("SoC after overcharge %g, want 1", u.SoC())
+	}
+	if u.Level() > u.CapacityJ {
+		t.Fatalf("level %g above capacity %g", u.Level(), u.CapacityJ)
+	}
+	// SetSoC clamps its argument too.
+	u.SetSoC(-3)
+	if u.SoC() != 0 {
+		t.Fatalf("SetSoC(-3) left SoC %g", u.SoC())
+	}
+	u.SetSoC(7)
+	if u.SoC() != 1 {
+		t.Fatalf("SetSoC(7) left SoC %g", u.SoC())
+	}
+}
+
+func TestFailedStringDeliversNothing(t *testing.T) {
+	u := Sized(100, 10)
+	u.SetFailed(true)
+	if !u.Failed() {
+		t.Fatal("Failed() false after SetFailed(true)")
+	}
+	if got := u.Discharge(50, 1); got != 0 {
+		t.Fatalf("failed string discharged %g", got)
+	}
+	u.SetSoC(0.5)
+	if got := u.Charge(50, 1); got != 0 {
+		t.Fatalf("failed string charged %g", got)
+	}
+	if got := u.AutonomyAt(50); got != 0 {
+		t.Fatalf("failed string reports autonomy %g", got)
+	}
+	// The stored charge holds through the fault.
+	u.SetFailed(false)
+	if u.SoC() != 0.5 {
+		t.Fatalf("SoC %g after repair, want 0.5", u.SoC())
+	}
+	if got := u.Discharge(50, 1); got != 50 {
+		t.Fatalf("repaired string discharged %g, want 50", got)
+	}
+}
+
+func TestFadeClampsLevelAndCapacity(t *testing.T) {
+	u := Sized(100, 10) // 1000 J, full
+	u.Fade(0.4)
+	if u.CapacityJ != 400 {
+		t.Fatalf("capacity after fade %g, want 400", u.CapacityJ)
+	}
+	if u.Level() != 400 {
+		t.Fatalf("level after fade %g, want clamped to 400", u.Level())
+	}
+	if u.SoC() != 1 {
+		t.Fatalf("SoC after fade %g, want 1 (full at the new capacity)", u.SoC())
+	}
+	// Out-of-range fractions clamp instead of corrupting state.
+	u.Fade(-1)
+	if u.CapacityJ != 0 || u.Level() != 0 {
+		t.Fatalf("Fade(-1) left capacity %g level %g", u.CapacityJ, u.Level())
+	}
+	v := Sized(100, 10)
+	v.Fade(2)
+	if v.CapacityJ != 1000 {
+		t.Fatalf("Fade(2) changed capacity to %g", v.CapacityJ)
+	}
+}
+
+func TestLifeConsumedUnderCapacityFade(t *testing.T) {
+	u := Sized(100, 10) // 1000 J
+	// One half-capacity discharge before the fade.
+	u.Discharge(100, 5) // 500 J out, level 500
+	efcBefore := u.EquivalentFullCycles()
+	if math.Abs(efcBefore-0.5) > 1e-9 {
+		t.Fatalf("EFC before fade %g, want 0.5", efcBefore)
+	}
+	lifeBefore := u.LifeConsumed(100, 1)
+	u.Fade(0.5) // capacity 500, level 500 (unchanged, already at ceiling)
+	// The same discharged joules now count against the smaller capacity:
+	// wear metrics must jump, never shrink.
+	if efc := u.EquivalentFullCycles(); math.Abs(efc-1.0) > 1e-9 {
+		t.Fatalf("EFC after fade %g, want 1.0", efc)
+	}
+	if life := u.LifeConsumed(100, 1); life <= lifeBefore {
+		t.Fatalf("LifeConsumed shrank across a fade: %g -> %g", lifeBefore, life)
+	}
+	// DoD stays within [0,1] even though minLevel predates the fade.
+	if dod := u.DeepestDischargeDoD(); dod < 0 || dod > 1 {
+		t.Fatalf("DoD %g outside [0,1] after fade", dod)
+	}
+	// LifeConsumed guards its degenerate rating.
+	if got := u.LifeConsumed(0, 1); got != 0 {
+		t.Fatalf("LifeConsumed with zero rated cycles = %g, want 0", got)
+	}
+}

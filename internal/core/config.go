@@ -12,6 +12,7 @@ import (
 	"antidope/internal/attack"
 	"antidope/internal/cluster"
 	"antidope/internal/defense"
+	"antidope/internal/faults"
 	"antidope/internal/firewall"
 	"antidope/internal/netlb"
 	"antidope/internal/thermal"
@@ -38,6 +39,26 @@ type BreakerCfg struct {
 	// RepairSec is the outage duration after a trip before power returns
 	// (0 defaults to 60 s).
 	RepairSec float64
+}
+
+// orDefault substitutes d for an unset (exact-zero) configuration field,
+// mirroring thermal.Config.Defaults.
+func orDefault(v, d float64) float64 {
+	//lint:allow floateq -- exact zero marks an unset config field
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// Defaults returns the configuration with every unset field replaced by its
+// documented default: rating 1.05× the budget, 30 s trip tolerance, 60 s
+// repair time.
+func (b BreakerCfg) Defaults() BreakerCfg {
+	b.RatingFrac = orDefault(b.RatingFrac, 1.05)
+	b.ToleranceSec = orDefault(b.ToleranceSec, 30)
+	b.RepairSec = orDefault(b.RepairSec, 60)
+	return b
 }
 
 // Config describes one simulation run.
@@ -85,6 +106,13 @@ type Config struct {
 	// control slot into Result.PerServerPower, for power-topology analysis
 	// (internal/topology).
 	RecordPerServer bool
+
+	// Faults, when non-nil, injects infrastructure failures from a scripted
+	// or generated schedule (internal/faults): server crashes, battery
+	// faults, telemetry corruption, DVFS actuation faults, firewall
+	// outages. The defenses actuate on the faulted telemetry; the physical
+	// ledgers (breaker, energy, thermal) always see the true draw.
+	Faults *faults.Config
 
 	// Thermal, when enabled, adds the cooling plane: server RC temperatures
 	// driven by their power draw and the room inlet, a CRAC capacity (0 =

@@ -85,6 +85,13 @@ type Result struct {
 	ThermalThrottleEvents int
 	FracSlotsThermal      float64
 
+	// Fault-injection ledger (only with Config.Faults set): crash events,
+	// orphaned in-flight requests re-queued onto surviving servers, and
+	// orphans lost to a full or absent destination.
+	ServerCrashes int
+	CrashRequeued uint64
+	CrashLost     uint64
+
 	// DopeTrace, present when the adaptive attacker ran, records its
 	// per-epoch operating points.
 	DopeTrace []DopeEpoch
@@ -165,6 +172,10 @@ func (r *Result) Fprint(w io.Writer) {
 		_, maxT := r.MaxTempC.Max()
 		fmt.Fprintf(w, "  thermal: peak %.1f°C, throttled %.1f%% of slots (%d engagements)\n",
 			maxT, 100*r.FracSlotsThermal, r.ThermalThrottleEvents)
+	}
+	if r.ServerCrashes > 0 {
+		fmt.Fprintf(w, "  faults: %d server crashes (%d requeued, %d lost)\n",
+			r.ServerCrashes, r.CrashRequeued, r.CrashLost)
 	}
 	if r.TokenDropFrac > 0 {
 		fmt.Fprintf(w, "  token: dropped %.1f%% of packages\n", 100*r.TokenDropFrac)

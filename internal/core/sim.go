@@ -47,6 +47,7 @@ type Simulation struct {
 	outageUntil float64
 	plant       *thermal.Plant
 	thermalHot  int // slots with any server thermally throttled
+	flt         *faultRuntime
 
 	// Pre-bound callbacks for the recurring event chains, created once so
 	// the per-arrival/per-completion path schedules without allocating a
@@ -74,6 +75,7 @@ func New(cfg Config) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.Breaker = cfg.Breaker.Defaults()
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
@@ -102,20 +104,12 @@ func New(cfg Config) (*Simulation, error) {
 		Model:    cfg.Cluster.Model,
 	}
 	if cfg.Breaker.Enabled {
-		ratingFrac := cfg.Breaker.RatingFrac
-		if ratingFrac <= 0 {
-			ratingFrac = 1.05
-		}
-		tolerance := cfg.Breaker.ToleranceSec
-		if tolerance <= 0 {
-			tolerance = 30
-		}
-		rating := cl.BudgetW * ratingFrac
+		rating := cl.BudgetW * cfg.Breaker.RatingFrac
 		overload := cl.Nameplate() - rating
 		if overload <= 0 {
 			overload = 0.1 * cl.Nameplate()
 		}
-		br, err := cluster.NewBreaker(rating, overload, tolerance)
+		br, err := cluster.NewBreaker(rating, overload, cfg.Breaker.ToleranceSec)
 		if err != nil {
 			return nil, err
 		}
@@ -132,6 +126,10 @@ func New(cfg Config) (*Simulation, error) {
 			return nil, err
 		}
 		s.plant = plant
+	}
+	if sched := cfg.Faults.Build(); !sched.Empty() {
+		s.flt = newFaultRuntime(sched, len(cl.Servers), s.rnd.Split("faults/sensor"))
+		s.env.Telemetry = s.flt.sensor
 	}
 	s.factory = workload.NewFactory(s.rnd.Split("factory"))
 	s.res = &Result{
@@ -242,6 +240,10 @@ func (s *Simulation) buildTraffic() {
 func (s *Simulation) Run() *Result {
 	s.scheme.Setup(s.env)
 
+	// Fault plan: arm crash/recover and battery events on the engine.
+	if s.flt != nil {
+		s.flt.arm(s)
+	}
 	// Arrival pump for the merged static stream.
 	if s.mix != nil {
 		s.pumpMix()
@@ -327,20 +329,30 @@ func (s *Simulation) handleArrival(now float64, req *workload.Request) {
 		s.recordDrop(req, measured)
 		return
 	}
-	if verdict := s.fw.Observe(now, req); verdict != firewall.Allowed {
-		s.recordDrop(req, measured)
-		// Rate-limit drops are silent shaping; only bans are the signal the
-		// adaptive attacker reacts to.
-		if verdict == firewall.Banned && s.dope != nil && req.Source >= dopeSourceBase {
-			s.epochBanned[req.Source] = true
+	// A firewall outage fails open: every source passes unexamined.
+	if s.flt == nil || !s.flt.firewallDown(now) {
+		if verdict := s.fw.Observe(now, req); verdict != firewall.Allowed {
+			s.recordDrop(req, measured)
+			// Rate-limit drops are silent shaping; only bans are the signal the
+			// adaptive attacker reacts to.
+			if verdict == firewall.Banned && s.dope != nil && req.Source >= dopeSourceBase {
+				s.epochBanned[req.Source] = true
+			}
+			return
 		}
-		return
 	}
 	if !s.scheme.Admit(now, req) {
 		s.recordDrop(req, measured)
 		return
 	}
 	sv := s.bal.Route(req)
+	if sv == nil {
+		// Every server is down (fault injection): nothing can serve this.
+		req.Dropped = true
+		req.DropReason = "no-server"
+		s.recordDrop(req, measured)
+		return
+	}
 	for _, done := range sv.Advance(now) {
 		s.recordCompletion(done)
 	}
@@ -381,8 +393,18 @@ func (s *Simulation) controlTick(now float64) {
 	// Close the books on the slot that just ended.
 	s.accountSlot(now)
 
+	// Telemetry plane: deliver this instant's (possibly faulted) power
+	// reading before the scheme looks, and snapshot pre-decision state for
+	// the DVFS actuation faults.
+	if s.flt != nil {
+		s.flt.preControl(now, s)
+	}
 	rep := s.scheme.ControlSlot(now, s.env)
 	s.prevRep = rep
+	// DVFS actuation faults intercept what the scheme just decided.
+	if s.flt != nil {
+		s.flt.postControl(now, s)
+	}
 
 	// Frequencies may have moved: re-arm completion events.
 	for _, sv := range s.cl.Servers {
@@ -441,10 +463,7 @@ func (s *Simulation) thermalTick(now float64) {
 // trip opens the breaker: every in-flight request is lost, arrivals are
 // refused until power returns, and the breaker is reset at repair time.
 func (s *Simulation) trip(now float64) {
-	repair := s.cfg.Breaker.RepairSec
-	if repair <= 0 {
-		repair = 60
-	}
+	repair := s.cfg.Breaker.RepairSec // defaulted by New
 	s.res.Outages++
 	until := now + repair
 	if until > s.cfg.Horizon {

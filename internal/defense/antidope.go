@@ -125,7 +125,7 @@ func (a *AntiDope) ControlSlot(now float64, env *Env) SlotReport {
 	dt := env.SlotSec
 	suspects, innocents := cl.SuspectServers()
 
-	if over := cl.Overshoot(); over > 0 {
+	if over := env.Overshoot(); over > 0 {
 		// Lines 5-7: the battery bridges the gap while the new V/F settings
 		// boot, so neither the utility feed nor innocent servers feel the
 		// transient.
@@ -158,7 +158,7 @@ func (a *AntiDope) ControlSlot(now float64, env *Env) SlotReport {
 	// Under budget: re-arm the actuation bridge for the next emergency.
 	a.delayLeft = a.ActuationDelaySlots
 
-	head := cl.Headroom()
+	head := env.Headroom()
 	hyst := a.gov.UpHysteresis * cl.BudgetW
 	var charge float64
 	if head > hyst {

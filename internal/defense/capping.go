@@ -30,11 +30,11 @@ func (c *Capping) Admit(now float64, req *workload.Request) bool { return true }
 // hysteresis when comfortably under.
 func (c *Capping) ControlSlot(now float64, env *Env) SlotReport {
 	cl := env.Cluster
-	if over := cl.Overshoot(); over > 0 {
+	if over := env.Overshoot(); over > 0 {
 		c.gov.ThrottleOrdered(over, serversByPowerDesc(cl.Servers), predict)
 		return SlotReport{}
 	}
-	if head := cl.Headroom(); head > c.gov.UpHysteresis*cl.BudgetW {
+	if head := env.Headroom(); head > c.gov.UpHysteresis*cl.BudgetW {
 		c.gov.Release(head-c.gov.UpHysteresis*cl.BudgetW, serversByFreqAsc(cl.Servers), predict)
 	}
 	return SlotReport{}

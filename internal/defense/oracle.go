@@ -41,11 +41,11 @@ func (o *Oracle) Admit(now float64, req *workload.Request) bool {
 // ControlSlot implements Scheme: residual legitimate peaks still get capped.
 func (o *Oracle) ControlSlot(now float64, env *Env) SlotReport {
 	cl := env.Cluster
-	if over := cl.Overshoot(); over > 0 {
+	if over := env.Overshoot(); over > 0 {
 		o.gov.ThrottleOrdered(over, serversByPowerDesc(cl.Servers), predict)
 		return SlotReport{}
 	}
-	if head := cl.Headroom(); head > o.gov.UpHysteresis*cl.BudgetW {
+	if head := env.Headroom(); head > o.gov.UpHysteresis*cl.BudgetW {
 		o.gov.Release(head-o.gov.UpHysteresis*cl.BudgetW, serversByFreqAsc(cl.Servers), predict)
 	}
 	return SlotReport{}

@@ -25,6 +25,16 @@ import (
 	"antidope/internal/workload"
 )
 
+// PowerReader is the telemetry plane the schemes read aggregate cluster
+// power through. Under fault injection the delivered reading can be noisy,
+// stale, or frozen at the last good value — the schemes must keep actuating
+// on whatever it says (graceful degradation) rather than assuming a fresh
+// measurement.
+type PowerReader interface {
+	// MeasuredPowerW returns the last delivered cluster power reading.
+	MeasuredPowerW() float64
+}
+
 // Env is the view of the data center a scheme operates on.
 type Env struct {
 	Cluster  *cluster.Cluster
@@ -33,6 +43,38 @@ type Env struct {
 	SlotSec float64
 	// Model is the (homogeneous) server power model, for planning.
 	Model power.Model
+	// Telemetry, when non-nil, mediates every aggregate power reading the
+	// schemes take; nil means perfect instantaneous telemetry (read the
+	// cluster directly).
+	Telemetry PowerReader
+}
+
+// MeasuredPowerW returns the cluster draw as the telemetry plane reports
+// it; with no sensor installed it is the true instantaneous draw.
+func (e *Env) MeasuredPowerW() float64 {
+	if e.Telemetry == nil {
+		return e.Cluster.PowerNow()
+	}
+	return e.Telemetry.MeasuredPowerW()
+}
+
+// Overshoot returns how far the measured draw exceeds the budget (0 if
+// under) — cluster.Overshoot as seen through the telemetry plane.
+func (e *Env) Overshoot() float64 {
+	over := e.MeasuredPowerW() - e.Cluster.BudgetW
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// Headroom returns the spare budget under the measured draw (0 if over).
+func (e *Env) Headroom() float64 {
+	head := e.Cluster.BudgetW - e.MeasuredPowerW()
+	if head < 0 {
+		return 0
+	}
+	return head
 }
 
 // SlotReport tells the simulation how the scheme used the energy storage

@@ -32,7 +32,7 @@ func (s *Shaving) Admit(now float64, req *workload.Request) bool { return true }
 func (s *Shaving) ControlSlot(now float64, env *Env) SlotReport {
 	cl := env.Cluster
 	dt := env.SlotSec
-	if over := cl.Overshoot(); over > 0 {
+	if over := env.Overshoot(); over > 0 {
 		got := cl.UPS.Discharge(over, dt)
 		if remaining := over - got; remaining > 1e-9 {
 			// Battery exhausted (or inverter-limited): throttle the rest.
@@ -41,7 +41,7 @@ func (s *Shaving) ControlSlot(now float64, env *Env) SlotReport {
 		return SlotReport{BatteryW: got}
 	}
 
-	head := cl.Headroom()
+	head := env.Headroom()
 	hyst := s.gov.UpHysteresis * cl.BudgetW
 	var charge float64
 	if head > hyst {

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resilienceQuickOutput renders the quick resilience sweep at the given
+// worker count.
+func resilienceQuickOutput(t testing.TB, parallel int) (*ResilienceResult, []byte) {
+	t.Helper()
+	r, err := Resilience(Options{Seed: 2019, Quick: true, Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Table.Fprint(&buf)
+	return r, buf.Bytes()
+}
+
+// TestResilienceQuickGolden pins the fault-intensity sweep — every table
+// cell — against testdata/resilience_quick.golden, and asserts the
+// acceptance ordering: under the heaviest chaos schedule the schemes
+// degrade most-graceful-first, Anti-DOPE >= Token >= Shaving >= Capping on
+// SLA compliance. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestResilienceQuickGolden -update
+func TestResilienceQuickGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "resilience_quick.golden")
+	r, got := resilienceQuickOutput(t, 0)
+	if !r.DegradationOrderOK() {
+		t.Errorf("degradation ordering violated at top intensity: SLA %v for schemes %v",
+			r.SLA[len(r.SLA)-1], r.Schemes)
+	}
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Resilience(quick) output diverged from %s; first %s\n(rerun with -update if the change is intended)",
+			golden, firstDiff(want, got))
+	}
+}
+
+// TestResilienceParallelEquivalence extends the harness guarantee to the
+// fault-injected sweep: chaos schedules derive from per-intensity seeds,
+// never from execution order, so one worker and eight produce identical
+// bytes.
+func TestResilienceParallelEquivalence(t *testing.T) {
+	_, seq := resilienceQuickOutput(t, 1)
+	_, par := resilienceQuickOutput(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("-parallel 1 and -parallel 8 resilience outputs differ; first %s", firstDiff(seq, par))
+	}
+}

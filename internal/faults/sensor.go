@@ -1,0 +1,116 @@
+package faults
+
+import "antidope/internal/rng"
+
+// PowerSensor models the cluster power telemetry the defenses read, as a
+// pipeline over the true draw: staleness delays it, noise corrupts it,
+// dropout freezes it at the last delivered value. With no active fault
+// window the sensor is transparent — it delivers the true reading bit-for-
+// bit, so a run with an empty schedule is indistinguishable from one with
+// no sensor at all.
+//
+// Determinism: the noise stream is consumed only while a noise window is
+// active, so adding or removing other fault kinds never shifts the noise
+// draws. Sample must be called with non-decreasing timestamps (the control
+// loop's slot ticks).
+type PowerSensor struct {
+	dropout *Cursor
+	noise   *Cursor
+	stale   *Cursor
+	rnd     *rng.Stream
+
+	// history retains (at, trueW) pairs long enough to serve the largest
+	// staleness lag in the schedule.
+	history []reading
+	maxLag  float64
+
+	last    float64 // last delivered reading
+	sampled bool
+}
+
+type reading struct {
+	at, w float64
+}
+
+// NewPowerSensor builds the sensor over a schedule's telemetry windows.
+// rnd feeds only the noise fault; pass a dedicated split.
+func NewPowerSensor(s *Schedule, rnd *rng.Stream) *PowerSensor {
+	staleWins := s.Windows(TelemetryStale)
+	maxLag := 0.0
+	for _, w := range staleWins {
+		if w.Param > maxLag {
+			maxLag = w.Param
+		}
+	}
+	return &PowerSensor{
+		dropout: NewCursor(s.Windows(TelemetryDropout)),
+		noise:   NewCursor(s.Windows(TelemetryNoise)),
+		stale:   NewCursor(staleWins),
+		rnd:     rnd,
+		maxLag:  maxLag,
+	}
+}
+
+// Sample feeds the sensor the true draw at now and returns what the
+// telemetry plane delivers to the defenses.
+func (p *PowerSensor) Sample(now, trueW float64) float64 {
+	if p.maxLag > 0 {
+		p.record(now, trueW)
+	}
+	value := trueW
+	if w, ok := p.stale.Active(now); ok && w.Param > 0 {
+		value = p.readingAt(now - w.Param)
+	}
+	if w, ok := p.noise.Active(now); ok {
+		value *= 1 + w.Param*p.rnd.NormFloat64()
+		if value < 0 {
+			value = 0
+		}
+	}
+	if _, ok := p.dropout.Active(now); ok {
+		// Defenses hold the last good reading; a dropout from the very
+		// first sample on delivers zero — the defense is simply blind.
+		if !p.sampled {
+			return 0
+		}
+		return p.last
+	}
+	p.last = value
+	p.sampled = true
+	return value
+}
+
+// MeasuredPowerW returns the last delivered reading, implementing the
+// defense layer's telemetry interface.
+func (p *PowerSensor) MeasuredPowerW() float64 { return p.last }
+
+// record appends one true reading and prunes history no staleness lag can
+// reach anymore.
+func (p *PowerSensor) record(now, trueW float64) {
+	p.history = append(p.history, reading{at: now, w: trueW})
+	// Keep one entry at or before the oldest reachable instant so a lagged
+	// lookup always has a floor value.
+	cut := 0
+	for cut+1 < len(p.history) && p.history[cut+1].at <= now-p.maxLag {
+		cut++
+	}
+	if cut > 0 {
+		p.history = append(p.history[:0], p.history[cut:]...)
+	}
+}
+
+// readingAt returns the latest recorded true reading at or before t. Before
+// any recorded history the sensor had never powered on: it reports zero.
+func (p *PowerSensor) readingAt(t float64) float64 {
+	if len(p.history) == 0 || t < p.history[0].at {
+		return 0
+	}
+	// History is short (bounded by maxLag / slot length); scan from the
+	// newest end.
+	for i := len(p.history) - 1; i >= 0; i-- {
+		if p.history[i].at <= t {
+			return p.history[i].w
+		}
+	}
+	return 0
+}

@@ -8,18 +8,20 @@
 // internal/experiments locks down.
 //
 // The pool also replaces the former crash-on-error behaviour of the
-// experiment runners: a failing job is retried once (errors can only come
-// from configuration assembly today, but the policy is cheap insurance
-// against future flaky resources) and then collected into the RunResult
-// instead of panicking, so one bad configuration cannot kill a whole
-// paperbench run.
+// experiment runners: a failing job is re-run under a configurable
+// RetryPolicy and then collected into the RunResult instead of panicking,
+// a panicking job is recovered into a labeled error carrying its stack,
+// and an optional per-job watchdog timeout converts a hung run into an
+// error — so one bad configuration cannot kill a whole paperbench run.
 package harness
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"antidope/internal/core"
 )
@@ -38,14 +40,57 @@ type RunResult struct {
 	Result *core.Result
 	// Err is the terminal error after the retry policy; nil on success.
 	Err error
-	// Attempts is how many times the job ran (1, or 2 after a retry).
+	// Attempts is how many times the job ran.
 	Attempts int
+}
+
+// RetryPolicy governs how the pool re-runs a failing job. It is fully
+// deterministic: no wall-clock waits, no jitter — the "backoff" perturbs
+// the retry's seed instead of its start time, which is the meaningful axis
+// for a simulation whose only flakiness can be seed-dependent.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per job; <= 0 selects the
+	// historic default of 2 (run once, retry once).
+	Attempts int
+	// Backoff offsets each retry's seed: attempt k (0-based) runs with
+	// Config.Seed + k·Backoff. Zero replays the identical run — right for
+	// assembly errors; nonzero gives each retry fresh randomness — right
+	// for seed-dependent pathologies.
+	Backoff uint64
+}
+
+// attempts returns the effective total tries.
+func (r RetryPolicy) attempts() int {
+	if r.Attempts <= 0 {
+		return 2
+	}
+	return r.Attempts
 }
 
 // Pool is a fixed-width worker pool. The zero value is not usable; build
 // with New.
 type Pool struct {
 	workers int
+	retry   RetryPolicy
+	timeout time.Duration
+}
+
+// WithRetry replaces the pool's retry policy and returns the pool for
+// chaining.
+func (p *Pool) WithRetry(r RetryPolicy) *Pool {
+	p.retry = r
+	return p
+}
+
+// WithJobTimeout arms a per-job watchdog: an attempt still running after d
+// of wall time is abandoned and recorded as an error (and retried under
+// the pool's policy). Zero (the default) disables the watchdog — note that
+// a timeout makes outcomes depend on host speed, so determinism-sensitive
+// suites (goldens, replay tests) must leave it off. The abandoned attempt's
+// goroutine runs to completion in the background; its result is discarded.
+func (p *Pool) WithJobTimeout(d time.Duration) *Pool {
+	p.timeout = d
+	return p
 }
 
 // New builds a pool. workers <= 0 selects one worker per available CPU
@@ -72,7 +117,7 @@ func (p *Pool) Run(jobs []Job) []RunResult {
 	}
 	if p.workers == 1 || len(jobs) == 1 {
 		for i, j := range jobs {
-			out[i] = runJob(j)
+			out[i] = p.runJob(j)
 		}
 		return out
 	}
@@ -83,7 +128,7 @@ func (p *Pool) Run(jobs []Job) []RunResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = runJob(jobs[i])
+				out[i] = p.runJob(jobs[i])
 			}
 		}()
 	}
@@ -127,18 +172,62 @@ func (p *Pool) Go(fns []func()) {
 	wg.Wait()
 }
 
-// runJob executes one job with the retry-once policy. Retrying reuses the
-// job's config verbatim; that is safe because core.RunOnce can only fail
-// during assembly/validation, before any stateful component (scheme,
-// firewall) has observed traffic.
-func runJob(j Job) RunResult {
-	res, err := core.RunOnce(j.Config)
-	attempts := 1
-	if err != nil {
-		res, err = core.RunOnce(j.Config)
-		attempts = 2
+// runJob executes one job under the pool's retry policy. Retrying after an
+// assembly/validation error reuses the job's config safely (no stateful
+// component observed traffic yet); retrying after a mid-run panic or
+// timeout is best-effort — the config's Scheme may have observed part of a
+// run, which the seed perturbation cannot undo.
+func (p *Pool) runJob(j Job) RunResult {
+	tries := p.retry.attempts()
+	var res *core.Result
+	var err error
+	for k := 0; k < tries; k++ {
+		cfg := j.Config
+		cfg.Seed = j.Config.Seed + uint64(k)*p.retry.Backoff
+		res, err = p.runOnce(cfg)
+		if err == nil {
+			return RunResult{Label: j.Label, Result: res, Attempts: k + 1}
+		}
 	}
-	return RunResult{Label: j.Label, Result: res, Err: err, Attempts: attempts}
+	return RunResult{Label: j.Label, Result: res, Err: err, Attempts: tries}
+}
+
+// runOnce executes one attempt, guarded by the watchdog when armed.
+func (p *Pool) runOnce(cfg core.Config) (*core.Result, error) {
+	if p.timeout <= 0 {
+		return runRecovered(cfg)
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := runRecovered(cfg)
+		ch <- outcome{r, e}
+	}()
+	timer := time.NewTimer(p.timeout) //lint:allow walltime -- watchdog: wall time only decides when to abandon a hung attempt, never anything inside a simulation
+
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("attempt exceeded the %v job timeout", p.timeout)
+	}
+}
+
+// runRecovered converts a panicking simulation into an error carrying the
+// panic value and stack, so one broken configuration surfaces in the
+// result set instead of killing the whole suite.
+func runRecovered(cfg core.Config) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("simulation panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return core.RunOnce(cfg)
 }
 
 // Errs joins the errors of every failed result into one error naming the

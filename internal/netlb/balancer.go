@@ -113,8 +113,14 @@ func (b *Balancer) SplitActive() bool {
 // Route picks the destination server for a request. With PDF active, the
 // request's URL decides the pool; the request is stamped Suspect when it
 // lands in the suspect pool so experiments can audit the split.
+//
+// Crashed servers are skipped. When the designated sub-pool is entirely
+// down, the request spills onto the whole cluster (availability beats
+// isolation for the duration of the fault); Route returns nil only when
+// every server is down.
 func (b *Balancer) Route(req *workload.Request) *server.Server {
 	pool := b.servers
+	split := false
 	if b.SplitActive() {
 		suspect := b.suspectURLs[req.URL]
 		if b.profiler != nil && b.profiler.Observe(req.ArriveAt, req) {
@@ -123,6 +129,7 @@ func (b *Balancer) Route(req *workload.Request) *server.Server {
 		sub := poolOf(b.servers, suspect)
 		if len(sub) > 0 {
 			pool = sub
+			split = true
 			req.Suspect = suspect
 		}
 		if suspect {
@@ -133,7 +140,11 @@ func (b *Balancer) Route(req *workload.Request) *server.Server {
 	} else {
 		b.routedInnocent++
 	}
-	return b.pick(pool)
+	sv := b.pick(pool)
+	if sv == nil && split {
+		sv = b.pick(b.servers)
+	}
+	return sv
 }
 
 func poolOf(servers []*server.Server, suspect bool) []*server.Server {
@@ -146,19 +157,35 @@ func poolOf(servers []*server.Server, suspect bool) []*server.Server {
 	return out
 }
 
+// pick selects from the pool among the servers that are up, returning nil
+// when none are. With every server up it reproduces the historical
+// behaviour exactly: first-wins least-loaded ties, and an unbroken
+// round-robin sequence.
 func (b *Balancer) pick(pool []*server.Server) *server.Server {
 	switch b.policy {
 	case LeastLoaded:
-		best := pool[0]
-		for _, s := range pool[1:] {
-			if s.Inflight() < best.Inflight() {
+		var best *server.Server
+		for _, s := range pool {
+			if !s.Up() {
+				continue
+			}
+			if best == nil || s.Inflight() < best.Inflight() {
 				best = s
 			}
 		}
 		return best
 	default:
 		b.rrNext++
-		return pool[b.rrNext%len(pool)]
+		n := len(pool)
+		for off := 0; off < n; off++ {
+			if s := pool[(b.rrNext+off)%n]; s.Up() {
+				// Advance the cursor to the server actually used so the
+				// rotation resumes from it once crashed nodes recover.
+				b.rrNext += off
+				return s
+			}
+		}
+		return nil
 	}
 }
 

@@ -41,6 +41,9 @@ type Server struct {
 	active  []*workload.Request
 	lastAdv float64
 	version uint64
+	// down marks a crashed node (fault injection): it draws no power,
+	// admits nothing, and rejoins only through Recover.
+	down bool
 
 	// Accounting.
 	energyJ       float64
@@ -233,6 +236,12 @@ func (s *Server) Admit(now float64, r *workload.Request) bool {
 	if now != s.lastAdv {
 		panic(fmt.Sprintf("server %d: admit at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
 	}
+	if s.down {
+		s.rejected++
+		r.Dropped = true
+		r.DropReason = "server-down"
+		return false
+	}
 	if len(s.active) >= s.MaxInflight {
 		s.rejected++
 		r.Dropped = true
@@ -301,7 +310,11 @@ func (s *Server) mix() []power.IndexedComponent {
 }
 
 // PowerNow returns the instantaneous draw at the current operating point.
+// A crashed node draws nothing.
 func (s *Server) PowerNow() power.Watts {
+	if s.down {
+		return 0
+	}
 	if s.powerDirty {
 		s.lastPower = s.ptab.Power(s.freq, s.mix())
 		s.powerDirty = false
@@ -310,8 +323,12 @@ func (s *Server) PowerNow() power.Watts {
 }
 
 // PowerAt predicts the draw if the frequency were capped to f with the
-// current load mix — the governor's planning primitive.
+// current load mix — the governor's planning primitive. A crashed node
+// predicts zero at every level, so governors see no savings in it.
 func (s *Server) PowerAt(f power.GHz) power.Watts {
+	if s.down {
+		return 0
+	}
 	return s.ptab.Power(f, s.mix())
 }
 
@@ -387,4 +404,52 @@ func (s *Server) FailAll(now float64) []*workload.Request {
 	s.version++
 	s.powerDirty = true
 	return failed
+}
+
+// Up reports whether the node is serving (not crashed).
+func (s *Server) Up() bool { return !s.down }
+
+// Crash takes the node down, detaching its in-flight requests WITHOUT
+// marking them dropped: unlike a domain-wide outage (FailAll), a single
+// node's crash leaves the rest of the cluster up, so the caller decides
+// each orphan's fate — typically re-routing it through the balancer. The
+// caller must have advanced the server to now first. The returned slice is
+// owned by the caller. Crashing a crashed node is a no-op returning nil.
+func (s *Server) Crash(now float64) []*workload.Request {
+	//lint:allow floateq -- contract check: caller must pass the exact advance instant
+	if now != s.lastAdv {
+		panic(fmt.Sprintf("server %d: crash at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
+	}
+	if s.down {
+		return nil
+	}
+	s.down = true
+	orphans := s.active
+	s.active = nil
+	s.version++
+	s.powerDirty = true
+	return orphans
+}
+
+// Recover reboots a crashed node at the ladder maximum — a reboot forgets
+// any throttle state the governor had imposed — with an empty queue. The
+// caller must have advanced the server to now first. Recovering an up node
+// is a no-op.
+func (s *Server) Recover(now float64) {
+	//lint:allow floateq -- contract check: caller must pass the exact advance instant
+	if now != s.lastAdv {
+		panic(fmt.Sprintf("server %d: recover at %.9f without advance (at %.9f)", s.ID, now, s.lastAdv))
+	}
+	if !s.down {
+		return
+	}
+	s.down = false
+	//lint:allow floateq -- both sides come from the same discrete DVFS ladder
+	if s.freq != s.Model.Ladder.Max {
+		s.freq = s.Model.Ladder.Max
+		s.freqChangeCnt++
+		s.refreshSpeedTab()
+	}
+	s.version++
+	s.powerDirty = true
 }
