@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"antidope/internal/cluster"
 	"antidope/internal/core"
 	"antidope/internal/defense"
+	"antidope/internal/obs"
 	"antidope/internal/report"
 	"antidope/internal/stats"
 	"antidope/internal/thermal"
@@ -42,6 +44,9 @@ func main() {
 		csvPath    = flag.String("csv", "", "write the power/battery/frequency series as CSV to this file")
 		jsonPath   = flag.String("json", "", "write the machine-readable summary as JSON to this file")
 		thermalOn  = flag.Bool("thermal", false, "enable the cooling plane (CRAC sized to the power budget)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
+		promPath   = flag.String("metrics", "", "write the run's metrics in Prometheus text format to this file")
+		eventsPath = flag.String("events", "", "write the full structured event stream as CSV to this file")
 	)
 	flag.Parse()
 
@@ -76,11 +81,21 @@ func main() {
 	}
 	cfg.Attacks = attacks
 
+	var bus *obs.Bus
+	if *tracePath != "" || *promPath != "" || *eventsPath != "" {
+		bus = obs.NewBus()
+		cfg.Observer = bus
+	}
+
 	res, err := core.RunOnce(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	res.Fprint(os.Stdout)
+
+	if bus != nil {
+		writeObs(bus, *tracePath, *promPath, *eventsPath)
+	}
 
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)
@@ -193,6 +208,30 @@ func parseAttacks(spec string, agents int, start, horizon float64) ([]attack.Spe
 		})
 	}
 	return out, nil
+}
+
+// writeObs exports the run's observability capture to whichever of the
+// three sinks were requested.
+func writeObs(bus *obs.Bus, tracePath, promPath, eventsPath string) {
+	write := func(path, what string, render func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	write(tracePath, "trace", bus.WriteChromeTrace)
+	write(promPath, "metrics", bus.WritePrometheus)
+	write(eventsPath, "events", bus.WriteCSV)
 }
 
 func fatal(err error) {

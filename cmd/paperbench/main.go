@@ -20,9 +20,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"antidope/internal/experiments"
+	"antidope/internal/obs"
 )
 
 func main() {
@@ -36,12 +38,16 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 		benchjson  = flag.String("benchjson", "", "merge the run's wall time into this file in the antidope-bench/v1 JSON schema")
+
+		traceLabel = flag.String("trace", "", "capture a Chrome trace of the first run whose label contains this substring (e.g. fig12 or fig18/Anti-DOPE)")
+		traceOut   = flag.String("traceout", "paperbench.trace.json", "trace output path for -trace")
 	)
 	flag.Parse()
 
 	// run holds the actual work so the deferred profile/JSON writers flush
 	// before the process exits; os.Exit inside run would skip them.
-	os.Exit(run(*quick, *seed, *fig, *extra, *parallel, *cpuprofile, *memprofile, *benchjson))
+	os.Exit(run(*quick, *seed, *fig, *extra, *parallel, *cpuprofile, *memprofile, *benchjson,
+		*traceLabel, *traceOut))
 }
 
 // errExit unwinds run() on an experiment error after it has already been
@@ -49,7 +55,7 @@ func main() {
 var errExit = errors.New("exit")
 
 func run(quick bool, seed uint64, fig int, extra string, parallel int,
-	cpuprofile, memprofile, benchjson string) (exitCode int) {
+	cpuprofile, memprofile, benchjson, traceLabel, traceOut string) (exitCode int) {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -111,6 +117,37 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 	}()
 
 	o := experiments.Options{Seed: seed, Quick: quick, Parallel: parallel}
+	if traceLabel != "" {
+		// Attach one bus to the FIRST job whose label contains the requested
+		// substring: a bus is stateful, so sharing it across concurrently
+		// running jobs would interleave their event streams.
+		var captured bool
+		bus := obs.NewBus()
+		o.Observe = func(label string) obs.Observer {
+			if captured || !strings.Contains(label, traceLabel) {
+				return nil
+			}
+			captured = true
+			fmt.Fprintf(os.Stderr, "paperbench: tracing run %q\n", label)
+			return bus
+		}
+		defer func() {
+			if exitCode != 0 {
+				return
+			}
+			if !captured {
+				fmt.Fprintf(os.Stderr, "paperbench: -trace %q matched no run label\n", traceLabel)
+				exitCode = 1
+				return
+			}
+			if err := writeTrace(traceOut, bus); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				exitCode = 1
+				return
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: trace written to %s\n", traceOut)
+		}()
+	}
 	w := os.Stdout
 
 	// check aborts on an experiment error; the harness already retried each
@@ -264,6 +301,19 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 		return 1
 	}
 	return 0
+}
+
+// writeTrace renders the captured bus as Chrome trace-event JSON.
+func writeTrace(path string, bus *obs.Bus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bus.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchTarget names the timing entry for a run, mirroring go test -bench

@@ -1,0 +1,37 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// the observability exporters (antidope-sim -trace, paperbench -trace)
+// against the subset of the trace-event format the exporters emit, so CI
+// can assert that every captured trace stays Perfetto-loadable.
+//
+// Usage:
+//
+//	tracecheck run.trace.json [more.trace.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"antidope/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateChromeTrace(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("tracecheck: %s ok\n", path)
+	}
+	os.Exit(code)
+}

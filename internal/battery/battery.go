@@ -5,7 +5,11 @@
 // trajectories of Figure 18 and the energy accounting of Figure 19.
 package battery
 
-import "fmt"
+import (
+	"fmt"
+
+	"antidope/internal/obs"
+)
 
 // UPS is one battery string backing a server cluster. The zero value is an
 // absent battery: zero capacity, every discharge request returns 0.
@@ -33,6 +37,11 @@ type UPS struct {
 	// failed marks an offline string (fault injection): inverter and
 	// charger deliver nothing while the stored charge holds.
 	failed bool
+
+	// obs receives charge/discharge/failure events, stamped with the sim
+	// time read from clock; both are set together by SetObserver.
+	obs   obs.Observer
+	clock func() float64
 }
 
 // Sized returns a UPS able to sustain sustainW for autonomy seconds, the
@@ -61,6 +70,17 @@ func (u *UPS) Validate() error {
 		return fmt.Errorf("battery: level %v outside [0,%v]", u.level, u.CapacityJ)
 	}
 	return nil
+}
+
+// SetObserver installs the event sink together with the simulation clock
+// used to stamp events: the UPS API carries durations, not absolute times,
+// so the driver lends it the engine's now. Passing a nil observer detaches.
+func (u *UPS) SetObserver(o obs.Observer, clock func() float64) {
+	u.obs = o
+	u.clock = clock
+	if o != nil && clock == nil {
+		panic("battery: observer without a clock")
+	}
 }
 
 // Level returns stored energy in joules.
@@ -134,6 +154,12 @@ func (u *UPS) Discharge(wantW, dt float64) (gotW float64) {
 		u.cycles++
 	}
 	u.lastMode = -1
+	if u.obs != nil && gotW > 0 {
+		u.obs.Emit(obs.Event{
+			T: u.clock(), Kind: obs.KindBatteryDischarge, Server: -1,
+			A: gotW, B: u.SoC(),
+		})
+	}
 	return gotW
 }
 
@@ -160,13 +186,28 @@ func (u *UPS) Charge(availW, dt float64) (usedW float64) {
 	u.level += stored
 	u.charged += usedW * dt
 	u.lastMode = 1
+	if u.obs != nil && usedW > 0 {
+		u.obs.Emit(obs.Event{
+			T: u.clock(), Kind: obs.KindBatteryCharge, Server: -1,
+			A: usedW, B: u.SoC(),
+		})
+	}
 	return usedW
 }
 
 // SetFailed marks the string offline (true) or restores it (false). While
 // failed, Discharge and Charge deliver nothing; the stored charge holds, so
 // a restored string resumes from the level it failed at.
-func (u *UPS) SetFailed(failed bool) { u.failed = failed }
+func (u *UPS) SetFailed(failed bool) {
+	if u.obs != nil && failed != u.failed {
+		kind := obs.KindBatteryFail
+		if !failed {
+			kind = obs.KindBatteryRepair
+		}
+		u.obs.Emit(obs.Event{T: u.clock(), Kind: kind, Server: -1, B: u.SoC()})
+	}
+	u.failed = failed
+}
 
 // Failed reports whether the string is offline.
 func (u *UPS) Failed() bool { return u.failed }
@@ -188,6 +229,12 @@ func (u *UPS) Fade(frac float64) {
 	}
 	if u.minLevel > u.CapacityJ {
 		u.minLevel = u.CapacityJ
+	}
+	if u.obs != nil {
+		u.obs.Emit(obs.Event{
+			T: u.clock(), Kind: obs.KindBatteryFade, Server: -1,
+			A: frac, B: u.SoC(),
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"antidope/internal/faults"
 	"antidope/internal/firewall"
 	"antidope/internal/netlb"
+	"antidope/internal/obs"
 	"antidope/internal/thermal"
 	"antidope/internal/trace"
 	"antidope/internal/workload"
@@ -113,6 +114,13 @@ type Config struct {
 	// outages. The defenses actuate on the faulted telemetry; the physical
 	// ledgers (breaker, energy, thermal) always see the true draw.
 	Faults *faults.Config
+
+	// Observer, when non-nil, receives the structured sim-time event stream
+	// (request lifecycle, defense actuations, breaker/thermal/firewall/fault
+	// transitions) from every layer of the stack. Like Scheme it is stateful:
+	// give each run its own observer (or one whose BeginRun resets it). nil
+	// keeps every hot path on the unobserved zero-allocation route.
+	Observer obs.Observer
 
 	// Thermal, when enabled, adds the cooling plane: server RC temperatures
 	// driven by their power draw and the room inlet, a CRAC capacity (0 =

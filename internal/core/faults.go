@@ -2,6 +2,7 @@ package core
 
 import (
 	"antidope/internal/faults"
+	"antidope/internal/obs"
 	"antidope/internal/power"
 	"antidope/internal/rng"
 	"antidope/internal/server"
@@ -83,6 +84,49 @@ func (f *faultRuntime) arm(s *Simulation) {
 		}
 		frac := ev.Param
 		s.eng.Schedule(ev.At, func(float64) { ups.Fade(frac) })
+	}
+	f.armObserver(s)
+}
+
+// armObserver schedules emit-only open/close markers for every fault window
+// so a trace shows exactly when — and for how long — the infrastructure was
+// degraded. Firewall outages additionally get their dedicated kinds, which
+// the exporters render on the perimeter track. The scheduled closures mutate
+// nothing and exist only when an observer is installed, so the unobserved
+// event sequence (and with it the goldens) is untouched.
+func (f *faultRuntime) armObserver(s *Simulation) {
+	if s.obs == nil {
+		return
+	}
+	h := s.cfg.Horizon
+	for _, ev := range f.sched.Events() {
+		if ev.At >= h {
+			continue
+		}
+		ev := ev
+		end := ev.At + ev.Duration
+		label := ev.Kind.String()
+		s.eng.Schedule(ev.At, func(now float64) {
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindFaultOpen, Server: int32(ev.Server),
+				Class: -1, A: end, B: ev.Param, Label: label,
+			})
+			if ev.Kind == faults.FirewallDown {
+				s.obs.Emit(obs.Event{T: now, Kind: obs.KindFirewallDown, Server: -1, Class: -1, A: end})
+			}
+		})
+		if !ev.Kind.Windowed() || end >= h {
+			continue
+		}
+		s.eng.Schedule(end, func(now float64) {
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindFaultClose, Server: int32(ev.Server),
+				Class: -1, A: ev.At, B: ev.Param, Label: label,
+			})
+			if ev.Kind == faults.FirewallDown {
+				s.obs.Emit(obs.Event{T: now, Kind: obs.KindFirewallUp, Server: -1, Class: -1, A: ev.At})
+			}
+		})
 	}
 }
 
@@ -180,6 +224,12 @@ func (s *Simulation) crashServer(now float64, sv *server.Server) {
 			continue
 		}
 		s.res.CrashRequeued++
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindReqRequeue, Server: int32(dst.ID),
+				Class: int32(r.Class), ID: r.ID,
+			})
+		}
 		s.scheduleCompletion(dst)
 	}
 }

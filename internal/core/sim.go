@@ -6,6 +6,7 @@ import (
 	"antidope/internal/defense"
 	"antidope/internal/firewall"
 	"antidope/internal/netlb"
+	"antidope/internal/obs"
 	"antidope/internal/power"
 	"antidope/internal/rng"
 	"antidope/internal/server"
@@ -48,6 +49,12 @@ type Simulation struct {
 	plant       *thermal.Plant
 	thermalHot  int // slots with any server thermally throttled
 	flt         *faultRuntime
+
+	// obs is the run's observer (nil = unobserved fast path); obsFreq is
+	// the pre-ControlSlot frequency snapshot used to diff what the scheme
+	// issued, allocated once when an observer is attached.
+	obs     obs.Observer
+	obsFreq []power.GHz
 
 	// Pre-bound callbacks for the recurring event chains, created once so
 	// the per-arrival/per-completion path schedules without allocating a
@@ -130,6 +137,20 @@ func New(cfg Config) (*Simulation, error) {
 	if sched := cfg.Faults.Build(); !sched.Empty() {
 		s.flt = newFaultRuntime(sched, len(cl.Servers), s.rnd.Split("faults/sensor"))
 		s.env.Telemetry = s.flt.sensor
+	}
+	if cfg.Observer != nil {
+		s.obs = cfg.Observer
+		s.obsFreq = make([]power.GHz, len(cl.Servers))
+		for _, sv := range cl.Servers {
+			sv.SetObserver(s.obs)
+		}
+		bal.SetObserver(s.obs)
+		s.fw.SetObserver(s.obs)
+		cl.UPS.SetObserver(s.obs, s.eng.Now)
+		s.env.Obs = s.obs
+		if s.flt != nil {
+			s.flt.sensor.SetObserver(s.obs)
+		}
 	}
 	s.factory = workload.NewFactory(s.rnd.Split("factory"))
 	s.res = &Result{
@@ -238,6 +259,12 @@ func (s *Simulation) buildTraffic() {
 // Run executes the simulation to the horizon and returns the measurements.
 // A Simulation is single-use; Run must be called exactly once.
 func (s *Simulation) Run() *Result {
+	// A resettable observer (obs.Bus) starts the run clean: the harness
+	// reuses the same observer across retry attempts of one job, and only
+	// the final attempt's trace should survive.
+	if br, ok := s.obs.(interface{ BeginRun() }); ok {
+		br.BeginRun()
+	}
 	s.scheme.Setup(s.env)
 
 	// Fault plan: arm crash/recover and battery events on the engine.
@@ -314,6 +341,13 @@ func (s *Simulation) dopeEpoch(now float64) {
 // handleArrival runs one request through firewall → scheme admission →
 // balancer → server.
 func (s *Simulation) handleArrival(now float64, req *workload.Request) {
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			T: now, Kind: obs.KindReqArrive, Server: -1,
+			Class: int32(req.Class), ID: req.ID, A: float64(req.Origin),
+			Label: req.Class.String(),
+		})
+	}
 	measured := req.ArriveAt >= s.cfg.WarmupSec
 	if measured {
 		if req.Origin == workload.Legit {
@@ -399,8 +433,27 @@ func (s *Simulation) controlTick(now float64) {
 	if s.flt != nil {
 		s.flt.preControl(now, s)
 	}
+	if s.obs != nil {
+		for i, sv := range s.cl.Servers {
+			s.obsFreq[i] = sv.Freq()
+		}
+	}
 	rep := s.scheme.ControlSlot(now, s.env)
 	s.prevRep = rep
+	// Diff the scheme's issued frequency commands before the actuation
+	// faults intercept them: dvfs-command is what was ordered, the servers'
+	// freq-change events are what actually landed.
+	if s.obs != nil {
+		for i, sv := range s.cl.Servers {
+			//lint:allow floateq -- both sides come from the same discrete DVFS ladder
+			if f := sv.Freq(); f != s.obsFreq[i] {
+				s.obs.Emit(obs.Event{
+					T: now, Kind: obs.KindDVFSCommand, Server: int32(i),
+					A: float64(s.obsFreq[i]), B: float64(f),
+				})
+			}
+		}
+	}
 	// DVFS actuation faults intercept what the scheme just decided.
 	if s.flt != nil {
 		s.flt.postControl(now, s)
@@ -452,6 +505,12 @@ func (s *Simulation) thermalTick(now float64) {
 		sv := s.cl.Servers[i]
 		sv.CapFreq(sv.Model.Ladder.StepDown(sv.Freq(), 2))
 		s.scheduleCompletion(sv)
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindThermalThrottle, Server: int32(i),
+				A: float64(sv.Freq()), B: s.plant.MaxTempC(),
+			})
+		}
 	}
 	if anyHot {
 		s.thermalHot++
@@ -471,13 +530,23 @@ func (s *Simulation) trip(now float64) {
 	}
 	s.res.OutageSeconds += until - now
 	s.outageUntil = until
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{T: now, Kind: obs.KindBreakerTrip, Server: -1, A: until})
+		s.obs.Emit(obs.Event{T: now, Kind: obs.KindOutageStart, Server: -1, A: until})
+	}
 	for _, sv := range s.cl.Servers {
 		for _, r := range sv.FailAll(now) {
 			s.recordDrop(r, r.ArriveAt >= s.cfg.WarmupSec)
 		}
 	}
 	if until < s.cfg.Horizon {
-		s.eng.Schedule(until, func(float64) { s.breaker.Reset() })
+		s.eng.Schedule(until, func(t float64) {
+			s.breaker.Reset()
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{T: t, Kind: obs.KindBreakerReset, Server: -1})
+				s.obs.Emit(obs.Event{T: t, Kind: obs.KindOutageEnd, Server: -1})
+			}
+		})
 	}
 }
 
@@ -496,6 +565,12 @@ func (s *Simulation) accountSlot(now float64) {
 }
 
 func (s *Simulation) sample(now float64) {
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			T: now, Kind: obs.KindSample, Server: -1,
+			A: s.cl.PowerNow(), B: s.cl.UPS.SoC(),
+		})
+	}
 	s.res.Power.Add(now, s.cl.PowerNow())
 	s.res.Battery.Add(now, s.cl.UPS.SoC())
 	s.res.VFRed.Add(now, s.cl.MeanVFReduction())
@@ -534,12 +609,22 @@ func (s *Simulation) recordCompletion(req *workload.Request) {
 }
 
 func (s *Simulation) recordDrop(req *workload.Request, measured bool) {
-	if !measured {
-		return
-	}
 	reason := req.DropReason
 	if reason == "" {
 		reason = "unknown"
+	}
+	// The trace sees every drop, including pre-warmup ones the measured
+	// ledger ignores: recordDrop is the single funnel all refusals flow
+	// through (firewall, scheme, balancer, server, outage, crash).
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			T: s.eng.Now(), Kind: obs.KindReqDrop, Server: -1,
+			Class: int32(req.Class), ID: req.ID, A: float64(req.Origin),
+			Label: reason,
+		})
+	}
+	if !measured {
+		return
 	}
 	s.res.DroppedByReason[reason]++
 	if req.Origin == workload.Legit {

@@ -2,6 +2,7 @@ package defense
 
 import (
 	"antidope/internal/netlb"
+	"antidope/internal/obs"
 	"antidope/internal/power"
 	"antidope/internal/workload"
 )
@@ -135,6 +136,12 @@ func (a *AntiDope) ControlSlot(now float64, env *Env) SlotReport {
 		}
 		if bridged > 0 {
 			a.bridgeSlots++
+			if env.Obs != nil {
+				env.Obs.Emit(obs.Event{
+					T: now, Kind: obs.KindDefenseBridge, Server: -1,
+					A: bridged, B: over,
+				})
+			}
 		}
 		if a.delayLeft > 0 && bridged >= over-1e-9 {
 			// Reconfiguration still in flight and fully bridged: wait.
@@ -150,6 +157,12 @@ func (a *AntiDope) ControlSlot(now float64, env *Env) SlotReport {
 			// flash crowd): spill onto innocent servers, counted as
 			// collateral.
 			a.collateralSlots++
+			if env.Obs != nil {
+				env.Obs.Emit(obs.Event{
+					T: now, Kind: obs.KindDefenseCollateral, Server: -1,
+					A: remaining, B: over,
+				})
+			}
 			a.gov.ThrottleOrdered(remaining, serversByPowerDesc(innocents), predict)
 		}
 		return SlotReport{BatteryW: bridged}

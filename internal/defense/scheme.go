@@ -20,6 +20,7 @@ import (
 
 	"antidope/internal/cluster"
 	"antidope/internal/netlb"
+	"antidope/internal/obs"
 	"antidope/internal/power"
 	"antidope/internal/server"
 	"antidope/internal/workload"
@@ -47,6 +48,10 @@ type Env struct {
 	// schemes take; nil means perfect instantaneous telemetry (read the
 	// cluster directly).
 	Telemetry PowerReader
+	// Obs, when non-nil, receives the schemes' actuation events (battery
+	// bridges, collateral throttling, token decisions). Schemes must guard
+	// every emission with a nil check — nil is the unobserved fast path.
+	Obs obs.Observer
 }
 
 // MeasuredPowerW returns the cluster draw as the telemetry plane reports

@@ -37,6 +37,7 @@ func (t *Token) Setup(env *Env) {
 		dynBudget = 1
 	}
 	t.bucket = netlb.NewPowerTokenBucket(dynBudget, 3*dynBudget)
+	t.bucket.SetObserver(env.Obs)
 }
 
 // Admit implements Scheme: spend the request's expected dynamic energy.

@@ -13,6 +13,7 @@ import (
 
 	"antidope/internal/core"
 	"antidope/internal/harness"
+	"antidope/internal/obs"
 )
 
 // Options tunes how heavy the experiment runs are.
@@ -27,6 +28,12 @@ type Options struct {
 	// run's seed derives from its label, so tables are byte-identical at
 	// any setting (the equivalence test asserts this).
 	Parallel int
+	// Observe, when non-nil, is consulted once per job with the job's
+	// label; a non-nil return is installed as that run's core Observer.
+	// Observers are stateful, so return a distinct one per observed label
+	// (or observe a single label) — sharing one across concurrently
+	// running jobs interleaves their event streams.
+	Observe func(label string) obs.Observer
 }
 
 // DefaultOptions is the full-fidelity setting used for EXPERIMENTS.md.
@@ -61,6 +68,13 @@ func (o Options) pool() *harness.Pool { return harness.New(o.Parallel) }
 // results in submission order. A non-nil error joins every job that still
 // failed after the harness's retry; results are unusable in that case.
 func runJobs(o Options, jobs []harness.Job) ([]*core.Result, error) {
+	if o.Observe != nil {
+		for i := range jobs {
+			if ob := o.Observe(jobs[i].Label); ob != nil {
+				jobs[i].Config.Observer = ob
+			}
+		}
+	}
 	rr := o.pool().Run(jobs)
 	if err := harness.Errs(rr); err != nil {
 		return nil, err

@@ -90,6 +90,10 @@ func (k Kind) serverScoped() bool {
 // the only point fault is BatteryFade.
 func (k Kind) windowed() bool { return k != BatteryFade }
 
+// Windowed reports whether the kind spans a [At, At+Duration) window
+// rather than firing at a single instant.
+func (k Kind) Windowed() bool { return k.windowed() }
+
 // AllServers targets every server with one server-scoped event.
 const AllServers = -1
 

@@ -73,9 +73,9 @@ func TestScheduleClampsFields(t *testing.T) {
 func TestScheduleMergesOverlappingWindows(t *testing.T) {
 	s := NewSchedule([]Event{
 		{Kind: TelemetryDropout, At: 10, Duration: 10},
-		{Kind: TelemetryDropout, At: 15, Duration: 10}, // overlaps → [10, 25)
-		{Kind: TelemetryDropout, At: 25, Duration: 5},  // touches → [10, 30)
-		{Kind: TelemetryDropout, At: 40, Duration: 5},  // separate
+		{Kind: TelemetryDropout, At: 15, Duration: 10},      // overlaps → [10, 25)
+		{Kind: TelemetryDropout, At: 25, Duration: 5},       // touches → [10, 30)
+		{Kind: TelemetryDropout, At: 40, Duration: 5},       // separate
 		{Kind: ServerCrash, At: 12, Duration: 4, Server: 1}, // different kind untouched
 	})
 	wins := s.Windows(TelemetryDropout)

@@ -1,6 +1,9 @@
 package faults
 
-import "antidope/internal/rng"
+import (
+	"antidope/internal/obs"
+	"antidope/internal/rng"
+)
 
 // PowerSensor models the cluster power telemetry the defenses read, as a
 // pipeline over the true draw: staleness delays it, noise corrupts it,
@@ -26,6 +29,8 @@ type PowerSensor struct {
 
 	last    float64 // last delivered reading
 	sampled bool
+
+	obs obs.Observer
 }
 
 type reading struct {
@@ -51,6 +56,11 @@ func NewPowerSensor(s *Schedule, rnd *rng.Stream) *PowerSensor {
 	}
 }
 
+// SetObserver installs the event sink; every sample taken while a
+// telemetry fault window is active is emitted with the true and the
+// delivered value, so a trace shows exactly when the defenses went blind.
+func (p *PowerSensor) SetObserver(o obs.Observer) { p.obs = o }
+
 // Sample feeds the sensor the true draw at now and returns what the
 // telemetry plane delivers to the defenses.
 func (p *PowerSensor) Sample(now, trueW float64) float64 {
@@ -58,26 +68,44 @@ func (p *PowerSensor) Sample(now, trueW float64) float64 {
 		p.record(now, trueW)
 	}
 	value := trueW
+	faulted := false
 	if w, ok := p.stale.Active(now); ok && w.Param > 0 {
 		value = p.readingAt(now - w.Param)
+		faulted = true
 	}
 	if w, ok := p.noise.Active(now); ok {
 		value *= 1 + w.Param*p.rnd.NormFloat64()
 		if value < 0 {
 			value = 0
 		}
+		faulted = true
 	}
 	if _, ok := p.dropout.Active(now); ok {
 		// Defenses hold the last good reading; a dropout from the very
 		// first sample on delivers zero — the defense is simply blind.
+		value = p.last
 		if !p.sampled {
-			return 0
+			value = 0
 		}
-		return p.last
+		p.emit(now, trueW, value)
+		return value
 	}
 	p.last = value
 	p.sampled = true
+	if faulted {
+		p.emit(now, trueW, value)
+	}
 	return value
+}
+
+func (p *PowerSensor) emit(now, trueW, delivered float64) {
+	if p.obs == nil {
+		return
+	}
+	p.obs.Emit(obs.Event{
+		T: now, Kind: obs.KindTelemetry, Server: -1,
+		A: trueW, B: delivered,
+	})
 }
 
 // MeasuredPowerW returns the last delivered reading, implementing the

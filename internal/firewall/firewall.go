@@ -9,6 +9,7 @@ package firewall
 import (
 	"fmt"
 
+	"antidope/internal/obs"
 	"antidope/internal/workload"
 )
 
@@ -90,6 +91,8 @@ type Firewall struct {
 	observed uint64
 	dropped  uint64
 	bans     uint64
+
+	obs obs.Observer
 }
 
 // New builds a firewall; it panics on invalid config (deployment bug).
@@ -99,6 +102,9 @@ func New(cfg Config) *Firewall {
 	}
 	return &Firewall{cfg: cfg, sources: make(map[workload.SourceID]*srcState)}
 }
+
+// SetObserver installs the event sink; ban decisions are emitted.
+func (f *Firewall) SetObserver(o obs.Observer) { f.obs = o }
 
 // Observed returns the number of requests inspected.
 func (f *Firewall) Observed() uint64 { return f.observed }
@@ -177,6 +183,13 @@ func (f *Firewall) Observe(now float64, req *workload.Request) Verdict {
 			st.bannedTill = now + f.cfg.BanSec
 			st.overSince = -1
 			f.bans++
+			if f.obs != nil {
+				f.obs.Emit(obs.Event{
+					T: now, Kind: obs.KindFirewallBan, Server: -1,
+					Class: int32(req.Class), ID: uint64(req.Source),
+					A: st.bannedTill, B: rate,
+				})
+			}
 			// The triggering request is itself dropped: the rule fires on it.
 			f.dropped++
 			req.Dropped = true

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"antidope/internal/obs"
 	"antidope/internal/server"
 	"antidope/internal/workload"
 )
@@ -51,6 +52,8 @@ type Balancer struct {
 
 	routedSuspect  uint64
 	routedInnocent uint64
+
+	obs obs.Observer
 }
 
 // New builds a balancer over the given servers.
@@ -90,7 +93,21 @@ func (b *Balancer) SuspectList() []string {
 }
 
 // SetProfiler installs (or clears, with nil) the online source profiler.
-func (b *Balancer) SetProfiler(p *SourceProfiler) { b.profiler = p }
+// A profiler installed after SetObserver inherits the balancer's observer.
+func (b *Balancer) SetProfiler(p *SourceProfiler) {
+	b.profiler = p
+	if p != nil && b.obs != nil {
+		p.SetObserver(b.obs)
+	}
+}
+
+// SetObserver installs the event sink on the balancer and its profiler.
+func (b *Balancer) SetObserver(o obs.Observer) {
+	b.obs = o
+	if b.profiler != nil {
+		b.profiler.SetObserver(o)
+	}
+}
 
 // Profiler returns the installed source profiler, if any.
 func (b *Balancer) Profiler() *SourceProfiler { return b.profiler }

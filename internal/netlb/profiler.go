@@ -3,6 +3,7 @@ package netlb
 import (
 	"math"
 
+	"antidope/internal/obs"
 	"antidope/internal/workload"
 )
 
@@ -28,6 +29,8 @@ type SourceProfiler struct {
 
 	sources map[workload.SourceID]*sourceStat
 	flagged uint64
+
+	obs obs.Observer
 }
 
 type sourceStat struct {
@@ -68,11 +71,24 @@ func (p *SourceProfiler) Observe(now float64, req *workload.Request) bool {
 	rate := st.acc / p.TauSec
 	was := st.suspect
 	st.suspect = st.n >= p.MinObservations && rate > p.SuspectScorePerSec
+	if st.suspect != was && p.obs != nil {
+		kind := obs.KindProfilerFlag
+		if !st.suspect {
+			kind = obs.KindProfilerUnflag
+		}
+		p.obs.Emit(obs.Event{
+			T: now, Kind: kind, Server: -1,
+			ID: uint64(req.Source), A: rate,
+		})
+	}
 	if st.suspect && !was {
 		p.flagged++
 	}
 	return st.suspect
 }
+
+// SetObserver installs the event sink; flag/unflag transitions are emitted.
+func (p *SourceProfiler) SetObserver(o obs.Observer) { p.obs = o }
 
 // Suspect reports the source's current state without updating it.
 func (p *SourceProfiler) Suspect(src workload.SourceID) bool {

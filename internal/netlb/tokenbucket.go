@@ -3,6 +3,7 @@ package netlb
 import (
 	"fmt"
 
+	"antidope/internal/obs"
 	"antidope/internal/power"
 	"antidope/internal/workload"
 )
@@ -24,6 +25,8 @@ type PowerTokenBucket struct {
 
 	admitted uint64
 	dropped  uint64
+
+	obs obs.Observer
 }
 
 // NewPowerTokenBucket builds a full bucket; it panics on non-positive
@@ -60,13 +63,28 @@ func (tb *PowerTokenBucket) Admit(now float64, req *workload.Request, costJ floa
 	if tb.tokens >= costJ {
 		tb.tokens -= costJ
 		tb.admitted++
+		if tb.obs != nil {
+			tb.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindTokenGrant, Server: -1,
+				Class: int32(req.Class), ID: req.ID, A: costJ, B: tb.tokens,
+			})
+		}
 		return true
 	}
 	tb.dropped++
 	req.Dropped = true
 	req.DropReason = "token-bucket"
+	if tb.obs != nil {
+		tb.obs.Emit(obs.Event{
+			T: now, Kind: obs.KindTokenDeny, Server: -1,
+			Class: int32(req.Class), ID: req.ID, A: costJ, B: tb.tokens,
+		})
+	}
 	return false
 }
+
+// SetObserver installs the event sink; grants and denials are emitted.
+func (tb *PowerTokenBucket) SetObserver(o obs.Observer) { tb.obs = o }
 
 // Tokens returns current credit in joules.
 func (tb *PowerTokenBucket) Tokens() float64 { return tb.tokens }

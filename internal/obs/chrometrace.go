@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Track (thread) ids inside the single trace process. Servers get
+// trackServerBase+index so every server renders as its own row in
+// Perfetto, below the subsystem rows.
+const (
+	trackCore     = 1
+	trackDefense  = 2
+	trackFirewall = 3
+	trackBattery  = 4
+	trackFaults   = 5
+	trackNetlb    = 6
+
+	trackServerBase = 10
+)
+
+// WriteChromeTrace renders the event stream as Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable in Perfetto or chrome://tracing.
+// Timestamps are sim-time converted to microseconds with fixed precision,
+// so the bytes are a pure function of the event stream.
+//
+// The mapping is a view, not the archive (the CSV is): per-request
+// req-arrive/req-start instants and token-grant events are omitted to keep
+// flood traces tractable — completions still render every request as a
+// slice on its server's track, and the metrics count what the view omits.
+func WriteChromeTrace(w io.Writer, rec *Recorder) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+
+	tw := traceWriter{bw: bw}
+	tw.meta(`"name":"process_name","ph":"M","pid":1,"args":{"name":"antidope"}`)
+	tw.thread(trackCore, "core")
+	tw.thread(trackDefense, "defense")
+	tw.thread(trackFirewall, "firewall")
+	tw.thread(trackBattery, "battery")
+	tw.thread(trackFaults, "faults")
+	tw.thread(trackNetlb, "netlb")
+	maxServer := int32(-1)
+	rec.Each(func(ev Event) {
+		if ev.Server > maxServer {
+			maxServer = ev.Server
+		}
+	})
+	for i := int32(0); i <= maxServer; i++ {
+		tw.thread(trackServerBase+int(i), "server "+strconv.Itoa(int(i)))
+	}
+
+	rec.Each(tw.event)
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+type traceWriter struct {
+	bw    *bufio.Writer
+	wrote bool
+}
+
+// meta writes one raw record body wrapped in braces and a leading comma
+// when needed.
+func (tw *traceWriter) meta(body string) {
+	if tw.wrote {
+		tw.bw.WriteByte(',')
+	}
+	tw.wrote = true
+	tw.bw.WriteString("{" + body + "}")
+}
+
+func (tw *traceWriter) thread(tid int, name string) {
+	tw.meta(`"name":"thread_name","ph":"M","pid":1,"tid":` + strconv.Itoa(tid) +
+		`,"args":{"name":"` + name + `"},"ts":0`)
+}
+
+// usec renders sim-time seconds as trace microseconds with fixed nanosecond
+// precision — deterministic bytes, no shortest-form wobble.
+func usec(t float64) string {
+	return strconv.FormatFloat(t*1e6, 'f', 3, 64)
+}
+
+func itoa32(v int32) string { return strconv.Itoa(int(v)) }
+
+func u64(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// instant writes a thread-scoped instant event.
+func (tw *traceWriter) instant(name string, tid int, t float64, args string) {
+	tw.meta(`"name":"` + name + `","ph":"i","s":"t","pid":1,"tid":` + strconv.Itoa(tid) +
+		`,"ts":` + usec(t) + `,"args":{` + args + `}`)
+}
+
+// counter writes a counter sample.
+func (tw *traceWriter) counter(name string, tid int, t float64, series, value string) {
+	tw.meta(`"name":"` + name + `","ph":"C","pid":1,"tid":` + strconv.Itoa(tid) +
+		`,"ts":` + usec(t) + `,"args":{"` + series + `":` + value + `}`)
+}
+
+// span writes one end of an async window ("b" or "e"); windows may overlap,
+// which is why they are async events rather than stack slices.
+func (tw *traceWriter) span(name, ph, id string, tid int, t float64, args string) {
+	tw.meta(`"cat":"state","name":"` + name + `","ph":"` + ph + `","id":"` + id +
+		`","pid":1,"tid":` + strconv.Itoa(tid) + `,"ts":` + usec(t) + `,"args":{` + args + `}`)
+}
+
+func (tw *traceWriter) event(ev Event) {
+	switch ev.Kind {
+	case KindReqArrive, KindReqStart, KindTokenGrant:
+		// Archived in the CSV and counted in the metrics; omitted here.
+	case KindReqComplete:
+		tw.meta(`"name":"` + ev.Label + `","ph":"X","pid":1,"tid":` +
+			strconv.Itoa(trackServerBase+int(ev.Server)) +
+			`,"ts":` + usec(ev.A) + `,"dur":` + usec(ev.T-ev.A) +
+			`,"args":{"id":` + u64(ev.ID) + `,"sojourn_s":` + formatFloat(ev.B) + `}`)
+	case KindReqDrop:
+		tw.instant("drop:"+ev.Label, trackCore, ev.T, `"id":`+u64(ev.ID))
+	case KindReqRequeue:
+		tw.instant("requeue", trackServerBase+int(ev.Server), ev.T, `"id":`+u64(ev.ID))
+	case KindDVFSCommand:
+		tw.instant("dvfs-command", trackDefense, ev.T,
+			`"server":`+itoa32(ev.Server)+`,"from_GHz":`+formatFloat(ev.A)+`,"to_GHz":`+formatFloat(ev.B))
+	case KindFreqChange:
+		tw.counter("freq-GHz.s"+itoa32(ev.Server), trackServerBase+int(ev.Server),
+			ev.T, "GHz", formatFloat(ev.B))
+	case KindTokenDeny:
+		tw.instant("token-deny", trackDefense, ev.T,
+			`"id":`+u64(ev.ID)+`,"cost_J":`+formatFloat(ev.A)+`,"level_J":`+formatFloat(ev.B))
+	case KindDefenseBridge:
+		tw.instant("bridge", trackDefense, ev.T,
+			`"bridged_W":`+formatFloat(ev.A)+`,"overshoot_W":`+formatFloat(ev.B))
+	case KindDefenseCollateral:
+		tw.instant("collateral-throttle", trackDefense, ev.T, `"residual_W":`+formatFloat(ev.A))
+	case KindBatteryDischarge:
+		tw.counter("battery-W", trackBattery, ev.T, "W", formatFloat(ev.A))
+		tw.counter("soc", trackBattery, ev.T, "soc", formatFloat(ev.B))
+	case KindBatteryCharge:
+		tw.counter("battery-W", trackBattery, ev.T, "W", formatFloat(-ev.A))
+		tw.counter("soc", trackBattery, ev.T, "soc", formatFloat(ev.B))
+	case KindBatteryFail:
+		tw.span("battery-failed", "b", "battery", trackBattery, ev.T, "")
+	case KindBatteryRepair:
+		tw.span("battery-failed", "e", "battery", trackBattery, ev.T, "")
+	case KindBatteryFade:
+		tw.instant("battery-fade", trackBattery, ev.T, `"remaining_frac":`+formatFloat(ev.A))
+	case KindBreakerTrip:
+		tw.instant("breaker-trip", trackCore, ev.T, `"reset_at":`+formatFloat(ev.A))
+	case KindBreakerReset:
+		tw.instant("breaker-reset", trackCore, ev.T, "")
+	case KindOutageStart:
+		tw.span("outage", "b", "outage", trackCore, ev.T, "")
+	case KindOutageEnd:
+		tw.span("outage", "e", "outage", trackCore, ev.T, "")
+	case KindThermalThrottle:
+		tw.instant("thermal-throttle", trackServerBase+int(ev.Server), ev.T,
+			`"GHz":`+formatFloat(ev.A)+`,"tempC":`+formatFloat(ev.B))
+	case KindFirewallBan:
+		tw.instant("ban", trackFirewall, ev.T,
+			`"src":`+u64(ev.ID)+`,"until":`+formatFloat(ev.A))
+	case KindFirewallDown:
+		tw.span("firewall-down", "b", "firewall", trackFirewall, ev.T, "")
+	case KindFirewallUp:
+		tw.span("firewall-down", "e", "firewall", trackFirewall, ev.T, "")
+	case KindProfilerFlag:
+		tw.instant("flag", trackNetlb, ev.T,
+			`"src":`+u64(ev.ID)+`,"rate_rps":`+formatFloat(ev.A))
+	case KindProfilerUnflag:
+		tw.instant("unflag", trackNetlb, ev.T,
+			`"src":`+u64(ev.ID)+`,"rate_rps":`+formatFloat(ev.A))
+	case KindServerCrash:
+		tw.span("crashed", "b", "crash-s"+itoa32(ev.Server),
+			trackServerBase+int(ev.Server), ev.T, "")
+	case KindServerRecover:
+		tw.span("crashed", "e", "crash-s"+itoa32(ev.Server),
+			trackServerBase+int(ev.Server), ev.T, "")
+	case KindFaultOpen:
+		tw.span(ev.Label, "b", ev.Label+"-"+itoa32(ev.Server), trackFaults, ev.T,
+			`"server":`+itoa32(ev.Server)+`,"param":`+formatFloat(ev.B))
+	case KindFaultClose:
+		tw.span(ev.Label, "e", ev.Label+"-"+itoa32(ev.Server), trackFaults, ev.T, "")
+	case KindTelemetry:
+		tw.counter("telemetry-W", trackFaults, ev.T, "W", formatFloat(ev.B))
+	case KindSample:
+		tw.counter("power-W", trackCore, ev.T, "W", formatFloat(ev.A))
+		tw.counter("soc", trackCore, ev.T, "soc", formatFloat(ev.B))
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders the complete event stream — nothing omitted — as CSV
+// with a fixed header. Labels are static identifiers from the simulator's
+// own vocabulary (class names, drop reasons, fault kinds) and never contain
+// commas or quotes, so no escaping is applied.
+func WriteCSV(w io.Writer, rec *Recorder) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("t,kind,server,class,id,a,b,label\n")
+	rec.Each(func(ev Event) {
+		bw.WriteString(strconv.FormatFloat(ev.T, 'g', -1, 64))
+		bw.WriteByte(',')
+		bw.WriteString(ev.Kind.String())
+		bw.WriteByte(',')
+		bw.WriteString(strconv.Itoa(int(ev.Server)))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.Itoa(int(ev.Class)))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatUint(ev.ID, 10))
+		bw.WriteByte(',')
+		bw.WriteString(formatFloat(ev.A))
+		bw.WriteByte(',')
+		bw.WriteString(formatFloat(ev.B))
+		bw.WriteByte(',')
+		bw.WriteString(ev.Label)
+		bw.WriteByte('\n')
+	})
+	return bw.Flush()
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	if len(kindNames) != numKinds {
+		t.Fatalf("kindNames has %d entries, want %d", len(kindNames), numKinds)
+	}
+	seen := map[string]bool{}
+	for k := 0; k < numKinds; k++ {
+		name := Kind(k).String()
+		if name == "" || name == "unknown" {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("Kind(%d) name %q duplicated", k, name)
+		}
+		seen[name] = true
+	}
+	if got := Kind(200).String(); got != "unknown" {
+		t.Errorf("out-of-range kind String = %q, want unknown", got)
+	}
+}
+
+func TestRecorderOrderAndReset(t *testing.T) {
+	var r Recorder
+	const n = 3*chunkEvents + 17 // cross chunk boundaries
+	for i := 0; i < n; i++ {
+		r.Record(Event{ID: uint64(i)})
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+	next := uint64(0)
+	r.Each(func(ev Event) {
+		if ev.ID != next {
+			t.Fatalf("event %d out of order: got ID %d", next, ev.ID)
+		}
+		next++
+	})
+
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+	count := 0
+	r.Each(func(Event) { count++ })
+	if count != 0 {
+		t.Fatalf("Each after Reset visited %d events", count)
+	}
+}
+
+// TestRecorderPoolRecycles proves Reset returns chunks to the free list:
+// refilling a reset recorder allocates nothing.
+func TestRecorderPoolRecycles(t *testing.T) {
+	var r Recorder
+	fill := func() {
+		for i := 0; i < 2*chunkEvents; i++ {
+			r.Record(Event{ID: uint64(i)})
+		}
+	}
+	fill() // allocate the chunks once
+	allocs := testing.AllocsPerRun(10, func() {
+		r.Reset()
+		fill()
+	})
+	if allocs > 0 {
+		t.Fatalf("reset+refill allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := (&Registry{metrics: map[string]*metric{}}).Histogram(
+		"h", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 16 { //lint:allow floateq -- exact sum of exactly representable values
+		t.Fatalf("Sum = %v, want 16", h.Sum())
+	}
+	// Buckets: <=1 gets 0.5 and 1 (SearchFloat64s puts v==bound in its
+	// bucket), <=2 gets 1.5, <=5 gets 3, +Inf gets 10.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.counts[i], w)
+		}
+	}
+}
+
+func TestRegistryPrometheusSortedAndDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zzz_total", "last").Add(3)
+	reg.Gauge("aaa_gauge", "first").Set(1.5)
+	reg.Histogram("mmm_seconds", "middle", []float64{0.1, 1}).Observe(0.5)
+
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same registry differ")
+	}
+	out := a.String()
+	iA := strings.Index(out, "aaa_gauge")
+	iM := strings.Index(out, "mmm_seconds")
+	iZ := strings.Index(out, "zzz_total")
+	if iA < 0 || iM < 0 || iZ < 0 || !(iA < iM && iM < iZ) {
+		t.Fatalf("metrics not in sorted order:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE aaa_gauge gauge", "aaa_gauge 1.5",
+		`mmm_seconds_bucket{le="1"} 1`, `mmm_seconds_bucket{le="+Inf"} 1`,
+		"mmm_seconds_sum 0.5", "mmm_seconds_count 1",
+		"# TYPE zzz_total counter", "zzz_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	reg.Gauge("x_total", "")
+}
+
+func TestBusMetricsFollowEvents(t *testing.T) {
+	b := NewBus()
+	b.Emit(Event{T: 1, Kind: KindReqArrive, ID: 7})
+	b.Emit(Event{T: 1, Kind: KindReqStart, ID: 7})
+	b.Emit(Event{T: 2, Kind: KindReqComplete, ID: 7, A: 1, B: 0.3})
+	b.Emit(Event{T: 3, Kind: KindReqDrop, ID: 8, Label: "token-bucket"})
+	b.Emit(Event{T: 3, Kind: KindReqDrop, ID: 9, Label: "token-bucket"})
+	b.Emit(Event{T: 4, Kind: KindSample, A: 900, B: 0.8})
+	b.Emit(Event{T: 5, Kind: KindSample, A: 700, B: 0.7})
+
+	reg := b.Metrics()
+	if got := reg.Counter("core_drops_total", "").Value(); got != 2 {
+		t.Errorf("drops = %d, want 2", got)
+	}
+	if got := reg.Counter("core_drops_token_bucket_total", "").Value(); got != 2 {
+		t.Errorf("per-reason drops = %d, want 2", got)
+	}
+	if got := reg.Gauge("core_power_watts", "").Value(); got != 700 { //lint:allow floateq -- gauge stores the sample verbatim
+		t.Errorf("power gauge = %v, want 700", got)
+	}
+	if got := reg.Gauge("core_power_watts_peak", "").Value(); got != 900 { //lint:allow floateq -- gauge stores the sample verbatim
+		t.Errorf("power peak = %v, want 900", got)
+	}
+	if got := b.Events().Len(); got != 7 {
+		t.Errorf("recorded %d events, want 7", got)
+	}
+
+	b.BeginRun()
+	if got := b.Events().Len(); got != 0 {
+		t.Errorf("events after BeginRun = %d, want 0", got)
+	}
+	if got := reg.Counter("core_drops_total", "").Value(); got != 0 {
+		t.Errorf("drops after BeginRun = %d, want 0", got)
+	}
+}
+
+// sampleEvents is a miniature stream exercising every exporter branch.
+func sampleEvents() []Event {
+	evs := []Event{
+		{T: 0.1, Kind: KindReqArrive, Class: 0, ID: 1, Label: "Colla-Filt"},
+		{T: 0.1, Kind: KindReqStart, Server: 0, Class: 0, ID: 1, Label: "Colla-Filt"},
+		{T: 0.4, Kind: KindReqComplete, Server: 0, Class: 0, ID: 1, A: 0.1, B: 0.3, Label: "Colla-Filt"},
+		{T: 0.5, Kind: KindReqDrop, Server: -1, Class: 1, ID: 2, Label: "firewall"},
+		{T: 0.6, Kind: KindReqRequeue, Server: 2, ID: 3},
+		{T: 1, Kind: KindDVFSCommand, Server: 1, A: 3.5, B: 2.4},
+		{T: 1, Kind: KindFreqChange, Server: 1, A: 3.5, B: 2.4},
+		{T: 1, Kind: KindTokenGrant, ID: 4, A: 2, B: 100},
+		{T: 1, Kind: KindTokenDeny, ID: 5, A: 2, B: 1},
+		{T: 1, Kind: KindDefenseBridge, A: 500, B: 600},
+		{T: 1, Kind: KindDefenseCollateral, A: 100},
+		{T: 1, Kind: KindBatteryDischarge, A: 500, B: 0.9},
+		{T: 2, Kind: KindBatteryCharge, A: 100, B: 0.91},
+		{T: 2, Kind: KindBatteryFail},
+		{T: 3, Kind: KindBatteryRepair},
+		{T: 3, Kind: KindBatteryFade, A: 0.8},
+		{T: 4, Kind: KindBreakerTrip, A: 64},
+		{T: 4, Kind: KindOutageStart, A: 64},
+		{T: 64, Kind: KindBreakerReset},
+		{T: 64, Kind: KindOutageEnd},
+		{T: 5, Kind: KindThermalThrottle, Server: 0, A: 2.4, B: 85},
+		{T: 6, Kind: KindFirewallBan, ID: 11, A: 66},
+		{T: 7, Kind: KindFirewallDown, Server: -1, Label: "firewall-down"},
+		{T: 8, Kind: KindFirewallUp, Server: -1, Label: "firewall-down"},
+		{T: 9, Kind: KindProfilerFlag, ID: 11, A: 55},
+		{T: 10, Kind: KindProfilerUnflag, ID: 11, A: 1},
+		{T: 11, Kind: KindServerCrash, Server: 2},
+		{T: 12, Kind: KindServerRecover, Server: 2},
+		{T: 13, Kind: KindFaultOpen, Server: 2, A: 14, B: 0.5, Label: "dvfs-stuck"},
+		{T: 14, Kind: KindFaultClose, Server: 2, A: 13, Label: "dvfs-stuck"},
+		{T: 15, Kind: KindTelemetry, A: 900, B: 450},
+		{T: 16, Kind: KindSample, A: 880, B: 0.85},
+	}
+	return evs
+}
+
+func TestChromeTraceValidates(t *testing.T) {
+	b := NewBus()
+	for _, ev := range sampleEvents() {
+		b.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails validation: %v\n%s", err, buf.String())
+	}
+	// Server 2 appears in the stream, so its track must be declared.
+	if !strings.Contains(buf.String(), `"name":"server 2"`) {
+		t.Error("trace missing the server 2 thread metadata")
+	}
+}
+
+func TestValidateRejectsMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":[`,
+		"empty":         `{"traceEvents":[]}`,
+		"no name":       `{"traceEvents":[{"ph":"i","pid":1,"tid":1,"ts":0}]}`,
+		"bad phase":     `{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":1,"ts":0}]}`,
+		"bad pid":       `{"traceEvents":[{"name":"x","ph":"i","pid":2,"tid":1,"ts":0}]}`,
+		"no ts":         `{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":1}]}`,
+		"X without dur": `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1,"ts":0}]}`,
+		"b without id":  `{"traceEvents":[{"name":"x","ph":"b","pid":1,"tid":1,"ts":0}]}`,
+		"only meta":     `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"args":{}}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}
+
+func TestCSVCoversEveryEvent(t *testing.T) {
+	b := NewBus()
+	evs := sampleEvents()
+	for _, ev := range evs {
+		b.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if got, want := len(lines), len(evs)+1; got != want {
+		t.Fatalf("CSV has %d lines, want %d (header + one per event)", got, want)
+	}
+	if lines[0] != "t,kind,server,class,id,a,b,label" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	if want := "0.4,req-complete,0,0,1,0.1,0.3,Colla-Filt"; lines[3] != want {
+		t.Fatalf("line 3 = %q, want %q", lines[3], want)
+	}
+}
+
+// TestExportersDeterministic renders the same stream twice through every
+// exporter and requires byte equality.
+func TestExportersDeterministic(t *testing.T) {
+	render := func() (string, string, string) {
+		b := NewBus()
+		for _, ev := range sampleEvents() {
+			b.Emit(ev)
+		}
+		var c, v, p bytes.Buffer
+		if err := b.WriteChromeTrace(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteCSV(&v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WritePrometheus(&p); err != nil {
+			t.Fatal(err)
+		}
+		return c.String(), v.String(), p.String()
+	}
+	c1, v1, p1 := render()
+	c2, v2, p2 := render()
+	if c1 != c2 {
+		t.Error("chrome traces differ between identical runs")
+	}
+	if v1 != v2 {
+		t.Error("CSVs differ between identical runs")
+	}
+	if p1 != p2 {
+		t.Error("prometheus renders differ between identical runs")
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+// chunkEvents is the recorder's allocation quantum: events are stored in
+// fixed-capacity chunks so a long trace costs one allocation per 4096
+// events instead of repeated slice doubling, and Reset recycles whole
+// chunks through a free list — the "event pool" the hot-path budget in
+// DESIGN.md §9 relies on.
+const chunkEvents = 4096
+
+// Recorder stores the event stream in insertion (= simulation) order.
+// The zero value is ready to use.
+type Recorder struct {
+	chunks [][]Event
+	free   [][]Event
+	n      int
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	last := len(r.chunks) - 1
+	if last < 0 || len(r.chunks[last]) == cap(r.chunks[last]) {
+		r.chunks = append(r.chunks, r.grabChunk())
+		last++
+	}
+	r.chunks[last] = append(r.chunks[last], ev)
+	r.n++
+}
+
+// grabChunk reuses a recycled chunk when one is available.
+func (r *Recorder) grabChunk() []Event {
+	if k := len(r.free) - 1; k >= 0 {
+		c := r.free[k]
+		r.free = r.free[:k]
+		return c[:0]
+	}
+	return make([]Event, 0, chunkEvents)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return r.n }
+
+// Each calls fn for every event in insertion order.
+func (r *Recorder) Each(fn func(Event)) {
+	for _, c := range r.chunks {
+		for _, ev := range c {
+			fn(ev)
+		}
+	}
+}
+
+// Reset discards all events but keeps the chunk storage on the free list,
+// so the next run records into already-allocated memory.
+func (r *Recorder) Reset() {
+	r.free = append(r.free, r.chunks...)
+	r.chunks = r.chunks[:0]
+	r.n = 0
+}

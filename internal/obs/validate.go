@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeTrace checks data against the subset of the Chrome
+// trace-event schema this package emits: a {"traceEvents":[...]} object
+// whose records all carry a name, a known phase, pid 1, a non-negative
+// timestamp (metadata excepted), a non-negative duration on complete
+// events, and an id on async begin/end pairs. It is the CI smoke gate for
+// exporter drift — a loadable-in-Perfetto sanity check, not a full schema.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no traceEvents")
+	}
+	seenNonMeta := false
+	for i, raw := range doc.TraceEvents {
+		var rec struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  int      `json:"pid"`
+			Tid  *int     `json:"tid"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			ID   string   `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("traceEvents[%d]: %w", i, err)
+		}
+		if rec.Name == "" {
+			return fmt.Errorf("traceEvents[%d]: empty name", i)
+		}
+		if rec.Pid != 1 {
+			return fmt.Errorf("traceEvents[%d] %q: pid %d, want 1", i, rec.Name, rec.Pid)
+		}
+		switch rec.Ph {
+		case "M":
+			continue
+		case "i", "C", "X", "b", "e":
+		default:
+			return fmt.Errorf("traceEvents[%d] %q: unknown phase %q", i, rec.Name, rec.Ph)
+		}
+		seenNonMeta = true
+		if rec.Ts == nil || *rec.Ts < 0 {
+			return fmt.Errorf("traceEvents[%d] %q: missing or negative ts", i, rec.Name)
+		}
+		if rec.Tid == nil || *rec.Tid <= 0 {
+			return fmt.Errorf("traceEvents[%d] %q: missing or non-positive tid", i, rec.Name)
+		}
+		if rec.Ph == "X" && (rec.Dur == nil || *rec.Dur < 0) {
+			return fmt.Errorf("traceEvents[%d] %q: complete event needs dur >= 0", i, rec.Name)
+		}
+		if (rec.Ph == "b" || rec.Ph == "e") && rec.ID == "" {
+			return fmt.Errorf("traceEvents[%d] %q: async event needs an id", i, rec.Name)
+		}
+	}
+	if !seenNonMeta {
+		return fmt.Errorf("trace contains only metadata records")
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"testing"
 
+	"antidope/internal/obs"
 	"antidope/internal/workload"
 )
 
@@ -44,5 +45,58 @@ func TestHotPathAllocFree(t *testing.T) {
 		_ = s.PowerNow()
 	}); n != 0 {
 		t.Errorf("PowerNow after Admit allocates %v per run, want 0", n)
+	}
+
+	// The nil-observer emission guards must cost nothing: CapFreq changes
+	// frequency (the event-bearing path) with no observer installed.
+	ladder := s.Model.Ladder
+	lo, hi := ladder.Level(0), ladder.Max
+	flip := false
+	if n := testing.AllocsPerRun(200, func() {
+		if flip = !flip; flip {
+			s.CapFreq(lo)
+		} else {
+			s.CapFreq(hi)
+		}
+	}); n != 0 {
+		t.Errorf("CapFreq with nil observer allocates %v per run, want 0", n)
+	}
+}
+
+// TestHotPathAllocFreeObserved locks in the enabled-observer budget: once
+// the bus's event pool is warm, emitting through the server hot path
+// recycles pooled chunks and allocates nothing per event.
+func TestHotPathAllocFreeObserved(t *testing.T) {
+	bus := obs.NewBus()
+	// Warm the pool past two chunks, then reset: steady-state emission now
+	// draws from the free list instead of growing the heap.
+	for i := 0; i < 10000; i++ {
+		bus.Emit(obs.Event{Kind: obs.KindSample})
+	}
+	bus.BeginRun()
+
+	s := benchServer(32)
+	s.SetObserver(bus)
+	now := 0.0
+	if n := testing.AllocsPerRun(200, func() {
+		now += 1e-6
+		s.Advance(now)
+	}); n != 0 {
+		t.Errorf("observed Advance allocates %v per run, want 0", n)
+	}
+	ladder := s.Model.Ladder
+	lo, hi := ladder.Level(0), ladder.Max
+	flip := false
+	if n := testing.AllocsPerRun(200, func() {
+		if flip = !flip; flip {
+			s.CapFreq(lo)
+		} else {
+			s.CapFreq(hi)
+		}
+	}); n != 0 {
+		t.Errorf("observed CapFreq allocates %v per run, want 0", n)
+	}
+	if bus.Events().Len() < 200 {
+		t.Fatalf("events were not recorded: %d", bus.Events().Len())
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"antidope/internal/obs"
 	"antidope/internal/power"
 	"antidope/internal/workload"
 )
@@ -71,6 +72,10 @@ type Server struct {
 	mixValid bool
 	// doneBuf backs the slice Advance returns, reused across calls.
 	doneBuf []*workload.Request
+
+	// obs receives lifecycle events; nil (the default) keeps the hot path
+	// allocation-free behind single branches (see TestHotPathAllocFree).
+	obs obs.Observer
 }
 
 type profileCache struct {
@@ -135,6 +140,9 @@ func (s *Server) refreshSpeedTab() {
 		s.speedTab[c] = math.Pow(rel, s.perf[c].beta)
 	}
 }
+
+// SetObserver installs the event sink. Pass nil to detach.
+func (s *Server) SetObserver(o obs.Observer) { s.obs = o }
 
 // Version increments whenever the server's dynamics change (arrival,
 // completion, frequency change). The simulation driver stamps scheduled
@@ -211,6 +219,13 @@ func (s *Server) Advance(now float64) []*workload.Request {
 				s.completed++
 				s.demandServed += r.Demand
 				done = append(done, r)
+				if s.obs != nil {
+					s.obs.Emit(obs.Event{
+						T: now, Kind: obs.KindReqComplete,
+						Server: int32(s.ID), Class: int32(r.Class), ID: r.ID,
+						A: r.StartAt, B: now - r.ArriveAt, Label: r.Class.String(),
+					})
+				}
 			} else {
 				keep = append(keep, r)
 			}
@@ -252,6 +267,13 @@ func (s *Server) Admit(now float64, r *workload.Request) bool {
 	s.active = append(s.active, r)
 	s.version++
 	s.powerDirty = true
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			T: now, Kind: obs.KindReqStart,
+			Server: int32(s.ID), Class: int32(r.Class), ID: r.ID,
+			Label: r.Class.String(),
+		})
+	}
 	return true
 }
 
@@ -344,11 +366,18 @@ func (s *Server) CapFreq(f power.GHz) {
 	if nf == s.freq {
 		return
 	}
+	old := s.freq
 	s.freq = nf
 	s.version++
 	s.powerDirty = true
 	s.freqChangeCnt++
 	s.refreshSpeedTab()
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			T: s.lastAdv, Kind: obs.KindFreqChange,
+			Server: int32(s.ID), A: float64(old), B: float64(nf),
+		})
+	}
 }
 
 // Utilization returns the fraction of core capacity in use right now.
@@ -428,6 +457,9 @@ func (s *Server) Crash(now float64) []*workload.Request {
 	s.active = nil
 	s.version++
 	s.powerDirty = true
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{T: now, Kind: obs.KindServerCrash, Server: int32(s.ID)})
+	}
 	return orphans
 }
 
@@ -446,10 +478,20 @@ func (s *Server) Recover(now float64) {
 	s.down = false
 	//lint:allow floateq -- both sides come from the same discrete DVFS ladder
 	if s.freq != s.Model.Ladder.Max {
+		old := s.freq
 		s.freq = s.Model.Ladder.Max
 		s.freqChangeCnt++
 		s.refreshSpeedTab()
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindFreqChange,
+				Server: int32(s.ID), A: float64(old), B: float64(s.freq),
+			})
+		}
 	}
 	s.version++
 	s.powerDirty = true
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{T: now, Kind: obs.KindServerRecover, Server: int32(s.ID)})
+	}
 }
