@@ -82,9 +82,12 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 				exitCode = 1
 				return
 			}
-			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows retained memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				exitCode = 1
+			}
+			if err := f.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 				exitCode = 1
 			}
@@ -310,7 +313,7 @@ func writeTrace(path string, bus *obs.Bus) error {
 		return err
 	}
 	if err := bus.WriteChromeTrace(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

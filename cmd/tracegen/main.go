@@ -38,7 +38,7 @@ func main() {
 			fatal(ferr)
 		}
 		tr, err = trace.LoadCSV(f, 60)
-		f.Close()
+		_ = f.Close() // read-only handle; nothing was buffered
 	} else {
 		cfg := trace.DefaultSynth()
 		cfg.Machines = *machines

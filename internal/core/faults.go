@@ -107,6 +107,9 @@ func (f *faultRuntime) armObserver(s *Simulation) {
 		end := ev.At + ev.Duration
 		label := ev.Kind.String()
 		s.eng.Schedule(ev.At, func(now float64) {
+			if s.obs == nil {
+				return
+			}
 			s.obs.Emit(obs.Event{
 				T: now, Kind: obs.KindFaultOpen, Server: int32(ev.Server),
 				Class: -1, A: end, B: ev.Param, Label: label,
@@ -119,6 +122,9 @@ func (f *faultRuntime) armObserver(s *Simulation) {
 			continue
 		}
 		s.eng.Schedule(end, func(now float64) {
+			if s.obs == nil {
+				return
+			}
 			s.obs.Emit(obs.Event{
 				T: now, Kind: obs.KindFaultClose, Server: int32(ev.Server),
 				Class: -1, A: ev.At, B: ev.Param, Label: label,
