@@ -2,13 +2,30 @@
 // together with the standard `go vet` passes over the given package
 // patterns. It exits non-zero if either reports a finding.
 //
+// The suite has two tiers. The per-package analyzers check one package at
+// a time (syntactic walltime/globalrand, mapiter, floateq, unitsuffix,
+// obsguard, sortediter, errflow). The whole-program analyzers load every
+// matched package into one call-graph facts layer and check global
+// invariants: transitive walltime/globalrand reachability from the
+// simulation roots (with the offending call chain printed) and the
+// //hot:allocfree escape-analysis contract.
+//
 // Usage:
 //
 //	go run ./cmd/antidope-lint ./...
 //	go run ./cmd/antidope-lint -vet=false ./internal/core
+//	go run ./cmd/antidope-lint -json ./...               # machine output
+//	go run ./cmd/antidope-lint -baseline lint.baseline.json ./...
+//	go run ./cmd/antidope-lint -write-baseline lint.baseline.json ./...
 //
 // A finding is suppressed by a `//lint:allow <analyzer>` comment on the
-// flagged line or the line above it; see internal/lint.
+// flagged line or the line above it; the whole-program analyzers instead
+// require the comment on the declaration of the function containing the
+// finding. See internal/lint.
+//
+// With -baseline, findings recorded in the snapshot are tolerated
+// (ratcheting: new debt fails, old debt is pinned); -write-baseline
+// records the current findings as that snapshot.
 package main
 
 import (
@@ -16,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 
 	"antidope/internal/lint"
 )
@@ -23,11 +41,18 @@ import (
 func main() {
 	vet := flag.Bool("vet", true, "also run the standard go vet passes")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	program := flag.Bool("program", true, "run the whole-program analyzers (call-graph reachability, hotalloc)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := flag.String("baseline", "", "tolerate findings recorded in this baseline `file`")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline `file` and exit 0")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range lint.AllProgram() {
+			fmt.Printf("%-12s [program] %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -37,33 +62,82 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	failed := false
-	if *vet {
+	vetFailed := false
+	if *vet && *writeBaseline == "" {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
-		cmd.Stdout = os.Stdout
+		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
-			failed = true
+			vetFailed = true
 		}
 	}
 
-	pkgs, err := lint.Load(".", patterns)
+	root, err := filepath.Abs(".")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "antidope-lint: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunPackage(pkg, lint.All())
+		ds, err := lint.RunPackage(pkg, lint.All())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "antidope-lint: %v\n", err)
-			os.Exit(2)
+			fatal(err)
 		}
-		for _, d := range diags {
-			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-			failed = true
+		diags = append(diags, ds...)
+	}
+	prog := &lint.Program{Pkgs: pkgs, Dir: root}
+	if *program {
+		ds, err := lint.RunProgram(prog, lint.AllProgram())
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	findings := lint.ToJSON(prog.Fset(), root, diags)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.WriteBaseline(f, findings); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "antidope-lint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		findings = base.Filter(findings)
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d.String())
 		}
 	}
-	if failed {
+	if len(findings) > 0 || vetFailed {
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "antidope-lint: %v\n", err)
+	os.Exit(2)
 }

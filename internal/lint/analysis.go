@@ -57,6 +57,12 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// SuppressPos, when set, is where a //lint:allow comment must sit to
+	// suppress this finding, instead of Pos. The whole-program analyzers use
+	// it to move the decision point: a transitive walltime finding prints at
+	// the sink call but is only silenced at the head of the function that
+	// contains it — the sink-level allow belongs to the per-package check.
+	SuppressPos token.Pos
 }
 
 // Reportf records a finding at pos.
@@ -87,6 +93,9 @@ func All() []*Analyzer {
 		MapIter,
 		FloatEq,
 		UnitSuffix,
+		ObsGuard,
+		SortedIter,
+		ErrFlow,
 	}
 }
 
@@ -130,7 +139,11 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 }
 
 func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
-	pos := fset.Position(d.Pos)
+	at := d.Pos
+	if d.SuppressPos != token.NoPos {
+		at = d.SuppressPos
+	}
+	pos := fset.Position(at)
 	byLine, ok := s[pos.Filename]
 	if !ok {
 		return false

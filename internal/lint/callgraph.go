@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the lint suite's cross-package facts layer: an approximate
+// whole-program call graph over every loaded package, built once per run
+// and shared by the program analyzers (transitive walltime/globalrand,
+// and any future reachability check).
+//
+// The graph is deliberately over-approximate — it must never miss a path
+// from a simulation root to a non-deterministic sink, at the cost of some
+// spurious edges:
+//
+//   - Static calls resolve through the type checker (including method
+//     calls on concrete receivers).
+//   - Interface method calls use class-hierarchy analysis: an edge is
+//     added to every concrete method of that name, on any named type in
+//     the program that implements the interface.
+//   - Calls through func values (the engine firing a scheduled callback,
+//     a pre-bound method value, a stored closure) edge to every
+//     address-taken function or closure in the program whose signature is
+//     identical — the graph never needs to know *which* callback a
+//     dynamic call site fires, only which ones it could.
+//   - A func value handed to a function outside the loaded set (say a
+//     comparator passed to sort.Slice) gets a direct may-call edge from
+//     the caller, since the callee's body is not available to carry it.
+//
+// Function literals are first-class nodes named parent$n, so a chain
+// through a pre-bound callback reads naturally in diagnostics.
+
+// SinkKind classifies the non-deterministic entry points the facts layer
+// records while walking function bodies.
+type SinkKind string
+
+const (
+	// SinkWallTime marks a call to one of time's wall-clock entry points
+	// (the same set the per-package walltime analyzer forbids).
+	SinkWallTime SinkKind = "walltime"
+	// SinkGlobalRand marks any use of math/rand or math/rand/v2.
+	SinkGlobalRand SinkKind = "globalrand"
+)
+
+// SinkCall is one direct use of a forbidden entry point inside a function.
+type SinkCall struct {
+	Kind SinkKind
+	Pos  token.Pos
+	// Desc names the entry point, e.g. "time.Now" or "math/rand.Intn".
+	Desc string
+}
+
+// FuncNode is one function, method, or function literal in the call graph.
+type FuncNode struct {
+	// Name is the stable display name: "pkg/path.Func",
+	// "pkg/path.(*T).Method", or "pkg/path.Func$1" for literals.
+	Name string
+	// Obj is the type-checker object; nil for function literals.
+	Obj *types.Func
+	// Pkg is the loaded package that declares the function.
+	Pkg *Package
+	// Pos is the declaration position (the func keyword).
+	Pos token.Pos
+	// Calls are the outgoing edges in source order.
+	Calls []CallEdge
+	// Sinks are direct uses of forbidden entry points in this body.
+	Sinks []SinkCall
+
+	// litSig is the signature of a function literal node (Obj == nil).
+	litSig *types.Signature
+}
+
+// CallEdge is one possible call from a function.
+type CallEdge struct {
+	Callee *FuncNode
+	// Pos is the call (or hand-off) site in the caller.
+	Pos token.Pos
+}
+
+// CallGraph is the whole-program facts structure.
+type CallGraph struct {
+	// Nodes maps display name to node. Function literals get synthetic
+	// names, so every node is addressable.
+	Nodes map[string]*FuncNode
+
+	byObj map[*types.Func]*FuncNode
+	// addrTaken are functions whose value is taken somewhere (assigned,
+	// stored, passed), keyed for dynamic-call resolution.
+	addrTaken []*FuncNode
+	// methodsByName indexes every concrete method in the program by name,
+	// for interface-call resolution.
+	methodsByName map[string][]*FuncNode
+}
+
+// BuildCallGraph constructs the facts layer over the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:         map[string]*FuncNode{},
+		byObj:         map[*types.Func]*FuncNode{},
+		methodsByName: map[string][]*FuncNode{},
+	}
+	b := &graphBuilder{g: g}
+	// Pass 1: create nodes for every declared function and method, and
+	// index concrete methods for interface resolution.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := &FuncNode{
+					Name: funcDisplayName(obj),
+					Obj:  obj,
+					Pkg:  pkg,
+					Pos:  fd.Pos(),
+				}
+				g.Nodes[node.Name] = node
+				g.byObj[obj] = node
+				if fd.Recv != nil {
+					g.methodsByName[obj.Name()] = append(g.methodsByName[obj.Name()], node)
+				}
+			}
+		}
+	}
+	// Pass 2: walk bodies, creating literal nodes and collecting edges,
+	// sinks, and the address-taken set.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				b.walkBody(g.byObj[obj], pkg, fd.Body)
+			}
+		}
+	}
+	// Pass 3: resolve dynamic calls against the address-taken set.
+	b.resolveDynamic()
+	return g
+}
+
+type graphBuilder struct {
+	g *CallGraph
+	// dynCalls are call sites through func values, resolved after the
+	// address-taken set is complete.
+	dynCalls []dynCall
+}
+
+type dynCall struct {
+	caller *FuncNode
+	sig    *types.Signature
+	pos    token.Pos
+}
+
+// walkBody collects edges, sinks, and nested literals for one function
+// body. Nested FuncLits become their own nodes; statements inside them are
+// attributed to the literal, not the parent.
+func (b *graphBuilder) walkBody(node *FuncNode, pkg *Package, body *ast.BlockStmt) {
+	litCount := 0
+	var walk func(n ast.Node, owner *FuncNode) bool
+	walk = func(n ast.Node, owner *FuncNode) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			litCount++
+			lit := &FuncNode{
+				Name: fmt.Sprintf("%s$%d", node.Name, litCount),
+				Pkg:  pkg,
+				Pos:  e.Pos(),
+			}
+			if tv, ok := pkg.Info.Types[e]; ok {
+				lit.litSig, _ = tv.Type.Underlying().(*types.Signature)
+			}
+			b.g.Nodes[lit.Name] = lit
+			// A literal only runs if something calls its value; creating it
+			// marks it address-taken (rule 1 of the dynamic-call model).
+			b.g.addrTaken = append(b.g.addrTaken, lit)
+			ast.Inspect(e.Body, func(m ast.Node) bool { return walk(m, lit) })
+			return false // children handled under the literal's identity
+		case *ast.CallExpr:
+			b.recordCall(owner, pkg, e)
+			return true
+		case *ast.SelectorExpr:
+			b.recordUse(owner, pkg, e.Sel, e)
+			return true
+		case *ast.Ident:
+			b.recordUse(owner, pkg, e, e)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, node) })
+}
+
+// recordCall classifies one call expression and adds the matching edge or
+// sink. Non-call uses of function values are handled by recordUse; the
+// callee expression itself is excluded from address-taking by position.
+func (b *graphBuilder) recordCall(owner *FuncNode, pkg *Package, call *ast.CallExpr) {
+	callee := ast.Unparen(call.Fun)
+
+	// Conversions and builtin calls are not calls for our purposes.
+	if tv, ok := pkg.Info.Types[callee]; ok && tv.IsType() {
+		return
+	}
+	switch fn := callee.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fn].(type) {
+		case *types.Builtin:
+			return
+		case *types.Func:
+			b.addStaticEdge(owner, obj, call.Pos())
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fn]; ok {
+			if fobj, ok := sel.Obj().(*types.Func); ok {
+				if recvIsInterface(fobj) {
+					b.addInterfaceEdges(owner, fobj, call.Pos())
+				} else {
+					b.addStaticEdge(owner, fobj, call.Pos())
+				}
+				return
+			}
+		} else if fobj, ok := pkg.Info.Uses[fn.Sel].(*types.Func); ok {
+			// Package-qualified call: pkg.Fn(...).
+			b.addStaticEdge(owner, fobj, call.Pos())
+			return
+		}
+	}
+	// Anything else with a function type is a dynamic call through a value.
+	if tv, ok := pkg.Info.Types[callee]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			b.dynCalls = append(b.dynCalls, dynCall{caller: owner, sig: sig, pos: call.Pos()})
+		}
+	}
+}
+
+// recordUse handles a non-call mention of a function: taking a method
+// value, assigning a function to a variable, passing it as an argument.
+// Such a function joins the address-taken set; when the reference is an
+// argument to a function outside the loaded set, the caller also gets a
+// direct may-call edge (the external callee can invoke it invisibly).
+func (b *graphBuilder) recordUse(owner *FuncNode, pkg *Package, ident *ast.Ident, expr ast.Expr) {
+	obj, ok := pkg.Info.Uses[ident].(*types.Func)
+	if !ok {
+		return
+	}
+	// Only references outside call position matter; calls were classified
+	// by recordCall. A cheap disambiguation: a call's Fun is visited via
+	// recordCall's return path, but ast.Inspect still reaches it, so skip
+	// idents whose parent call already consumed them by checking the type
+	// of the surrounding expression is a signature AND the use is not
+	// invoked. Precise parent tracking costs more than it is worth: an
+	// extra address-taken entry for a directly-called function only adds
+	// edges the static pass already added.
+	node := b.nodeFor(obj)
+	if node == nil {
+		b.recordSinkUse(owner, obj, expr.Pos())
+		return
+	}
+	b.g.addrTaken = append(b.g.addrTaken, node)
+	_ = expr
+}
+
+// nodeFor returns the graph node for a declared function, or nil when the
+// function lives outside the loaded packages. Each package type-checks
+// against export data of its dependencies, so the same function seen from
+// an importing package is a different *types.Func than the one recorded
+// from its defining package's syntax; the display-name fallback stitches
+// those universes together, which is what makes cross-package edges work.
+func (b *graphBuilder) nodeFor(obj *types.Func) *FuncNode {
+	if n := b.g.byObj[origin(obj)]; n != nil {
+		return n
+	}
+	return b.g.Nodes[funcDisplayName(origin(obj))]
+}
+
+func origin(obj *types.Func) *types.Func {
+	if o := obj.Origin(); o != nil {
+		return o
+	}
+	return obj
+}
+
+// addStaticEdge links caller to a known callee, or records a sink when the
+// callee is a forbidden external entry point.
+func (b *graphBuilder) addStaticEdge(owner *FuncNode, callee *types.Func, pos token.Pos) {
+	if node := b.nodeFor(callee); node != nil {
+		owner.Calls = append(owner.Calls, CallEdge{Callee: node, Pos: pos})
+		return
+	}
+	b.recordSinkUse(owner, callee, pos)
+}
+
+// recordSinkUse records a use of an external function when it is one of
+// the forbidden entry points.
+func (b *graphBuilder) recordSinkUse(owner *FuncNode, callee *types.Func, pos token.Pos) {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	switch path := pkg.Path(); path {
+	case "time":
+		if wallTimeFuncs[callee.Name()] {
+			owner.Sinks = append(owner.Sinks, SinkCall{
+				Kind: SinkWallTime, Pos: pos, Desc: "time." + callee.Name(),
+			})
+		}
+	case "math/rand", "math/rand/v2":
+		owner.Sinks = append(owner.Sinks, SinkCall{
+			Kind: SinkGlobalRand, Pos: pos, Desc: path + "." + callee.Name(),
+		})
+	}
+}
+
+// addInterfaceEdges links caller to every concrete method in the program
+// that the interface call could dispatch to.
+func (b *graphBuilder) addInterfaceEdges(owner *FuncNode, iface *types.Func, pos token.Pos) {
+	recv := iface.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	itype, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, cand := range b.g.methodsByName[iface.Name()] {
+		crecv := cand.Obj.Type().(*types.Signature).Recv()
+		if crecv == nil {
+			continue
+		}
+		if types.Implements(crecv.Type(), itype) {
+			owner.Calls = append(owner.Calls, CallEdge{Callee: cand, Pos: pos})
+		}
+	}
+}
+
+// resolveDynamic links every recorded dynamic call site to the
+// address-taken functions whose signature matches.
+func (b *graphBuilder) resolveDynamic() {
+	// Dedup the address-taken set while keeping a stable order.
+	seen := map[*FuncNode]bool{}
+	var targets []*FuncNode
+	for _, n := range b.g.addrTaken {
+		if !seen[n] {
+			seen[n] = true
+			targets = append(targets, n)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Name < targets[j].Name })
+	b.g.addrTaken = targets
+
+	for _, dc := range b.dynCalls {
+		for _, t := range targets {
+			if matchesSignature(t, dc.sig) {
+				dc.caller.Calls = append(dc.caller.Calls, CallEdge{Callee: t, Pos: dc.pos})
+			}
+		}
+	}
+}
+
+// matchesSignature reports whether node could be the value behind a call
+// of the given signature. Literal nodes carry no types.Func, so they match
+// structurally by their package's recorded info being unavailable — the
+// builder stores literal signatures on creation instead.
+func matchesSignature(node *FuncNode, sig *types.Signature) bool {
+	if node.Obj == nil {
+		// Function literal: match on the signature captured at creation.
+		return node.litSig != nil && types.Identical(node.litSig, sig)
+	}
+	nsig, ok := node.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	// A method value's signature drops the receiver.
+	cmp := nsig
+	if nsig.Recv() != nil {
+		cmp = types.NewSignatureType(nil, nil, nil, nsig.Params(), nsig.Results(), nsig.Variadic())
+	}
+	return types.Identical(cmp, sig)
+}
+
+// Reach computes the set of node names reachable from the given roots and
+// the parent edge used to first reach each node (a BFS tree, so chains
+// printed from it are shortest-first and deterministic).
+func (g *CallGraph) Reach(roots []*FuncNode) map[*FuncNode]CallEdgeFrom {
+	parent := map[*FuncNode]CallEdgeFrom{}
+	queue := make([]*FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := parent[r]; !ok && r != nil {
+			parent[r] = CallEdgeFrom{}
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Calls {
+			if _, ok := parent[e.Callee]; ok {
+				continue
+			}
+			parent[e.Callee] = CallEdgeFrom{Caller: n, Pos: e.Pos}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return parent
+}
+
+// CallEdgeFrom records how a node was first reached during BFS.
+type CallEdgeFrom struct {
+	Caller *FuncNode
+	Pos    token.Pos
+}
+
+// Chain renders the call chain from a root to node as "a -> b -> c".
+func Chain(parent map[*FuncNode]CallEdgeFrom, node *FuncNode) string {
+	var names []string
+	for n := node; n != nil; {
+		names = append(names, n.Name)
+		from, ok := parent[n]
+		if !ok || from.Caller == nil {
+			break
+		}
+		n = from.Caller
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// FindRoot resolves a root spec of the form "pkg/path.Func" or
+// "pkg/path.(*Type).Method" to its node, or nil when absent (a partial
+// load that does not include the root simply contributes no chains).
+func (g *CallGraph) FindRoot(spec string) *FuncNode {
+	return g.Nodes[spec]
+}
+
+// funcDisplayName renders a *types.Func as the stable node name.
+func funcDisplayName(obj *types.Func) string {
+	sig := obj.Type().(*types.Signature)
+	pkgPath := ""
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		star := ""
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+			star = "*"
+		}
+		name := rt.String()
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		return fmt.Sprintf("%s.(%s%s).%s", pkgPath, star, name, obj.Name())
+	}
+	return pkgPath + "." + obj.Name()
+}
+
+func recvIsInterface(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}

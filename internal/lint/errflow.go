@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow forbids silently dropping an error: a call whose results include
+// an error must either consume it, discard it explicitly (`_ = f()` /
+// `x, _ := f()` — visible in review), or carry a
+// `//lint:allow errflow -- reason` stating why the error is impossible or
+// irrelevant. The bare statement form `f()` is the one this analyzer
+// flags: it reads identically whether f can fail or not, which is exactly
+// how a fault-injection error disappears without a trace.
+//
+// Two call families are exempt to keep the signal high:
+//
+//   - The fmt print family (Print*, Fprint*). Human-readable rendering is
+//     best-effort by house convention — progress lines, reports, tables —
+//     and when output integrity does matter the house idiom is a
+//     *bufio.Writer whose latched error is checked once at Flush.
+//   - Write* methods on the error-latching in-memory/buffered writers
+//     (*bytes.Buffer, *strings.Builder, *bufio.Writer): the first two are
+//     documented never to fail, the third latches the error until Flush.
+//
+// What remains is the dangerous shape: Close, Flush, Encode, Remove,
+// Setenv and friends silently dropping the only evidence of a failure.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "error results must be consumed or explicitly discarded with " +
+		"`_ =`; a bare call statement that drops an error needs a " +
+		"//lint:allow errflow reason",
+	Run: runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) || infallibleCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is silently dropped; consume it, "+
+					"discard it explicitly with `_ =`, or annotate the line "+
+					"with //lint:allow errflow -- reason", callLabel(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any of the call's results is of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// infallibleCall exempts calls documented never to return a non-nil error.
+func infallibleCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// The fmt print family.
+	if ident, ok := sel.X.(*ast.Ident); ok && pass.PkgPath(ident) == "fmt" {
+		name := sel.Sel.Name
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	// Write* methods on the error-latching writers. Flush is NOT a Write*
+	// method: dropping bufio's Flush error discards the latched failure.
+	if !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return false
+	}
+	return isLatchedWriter(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// isLatchedWriter reports whether t is *bytes.Buffer, *strings.Builder, or
+// *bufio.Writer — writers whose Write-family methods either cannot fail or
+// latch the error for a later Flush check.
+func isLatchedWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder", "bufio.Writer":
+		return true
+	}
+	return false
+}
+
+// callLabel renders the called expression for the diagnostic.
+func callLabel(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return exprString(fn.X) + "." + fn.Sel.Name
+	}
+	return "call"
+}

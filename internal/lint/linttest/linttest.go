@@ -107,6 +107,67 @@ func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 	}
 }
 
+// RunProgram executes one whole-program analyzer over the fixture
+// packages matched by patterns (go-list syntax, e.g.
+// "./testdata/src/progwalltime/..."). Unlike Run, fixtures here are real
+// module packages loaded through the production go-list loader, because
+// the program analyzers need export data, import graphs, and (for
+// hotalloc) a compilable package for the toolchain to chew on.
+//
+// Roots come from //lint:root markers on fixture function docs, so each
+// fixture program declares its own entry points. Diagnostics are matched
+// against the same `// want "regexp"` comments as Run.
+func RunProgram(t *testing.T, a *lint.ProgramAnalyzer, patterns ...string) {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(dir, patterns)
+	if err != nil {
+		t.Fatalf("load fixture program: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("patterns %v matched no packages", patterns)
+	}
+	prog := &lint.Program{
+		Pkgs:  pkgs,
+		Dir:   dir,
+		Roots: lint.RootsFromComments(pkgs),
+	}
+	diags, err := lint.RunProgram(prog, []*lint.ProgramAnalyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	fset := prog.Fset()
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		w, ok := wants[key]
+		if !ok || !w.rx.MatchString(d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+			continue
+		}
+		w.matched = true
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !wants[k].matched {
+			t.Errorf("expected diagnostic at %s matching %q, got none", k, wants[k].rx)
+		}
+	}
+}
+
 func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string]*want {
 	t.Helper()
 	wants := map[string]*want{}

@@ -18,6 +18,7 @@ import (
 // Package is one loaded, type-checked package ready for analysis.
 type Package struct {
 	Path  string
+	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
@@ -100,6 +101,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 		pkgs = append(pkgs, &Package{
 			Path:  t.ImportPath,
+			Dir:   t.Dir,
 			Fset:  fset,
 			Files: files,
 			Types: pkg,

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard enforces the observability layer's one-nil-check contract: a
+// nil observer is the fast path, so every call through an interface value
+// named Observer must be dominated by a nil check on that same value —
+// either an enclosing `if x != nil { ... }` or an earlier
+// `if x == nil { return }` guard in the same block. An unguarded emit is
+// a nil-dereference waiting for the first unobserved run, and a guard on
+// a *different* field does not count.
+//
+// The check is name-based on purpose: any interface type named Observer
+// (obs.Observer in this repo, a local stand-in in fixtures) opts its call
+// sites into the contract.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc: "every call through an Observer interface value must be " +
+		"dominated by a nil check on that value (the nil observer is " +
+		"the contract's fast path)",
+	Run: runObsGuard,
+}
+
+func runObsGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkObsGuards(pass, fd.Body, nil)
+		}
+	}
+	return nil
+}
+
+// checkObsGuards walks one block with the set of observer-expression keys
+// currently known non-nil. It recurses into nested blocks, extending the
+// guard set through dominating nil checks.
+func checkObsGuards(pass *Pass, block *ast.BlockStmt, guarded []string) {
+	// Guards established by earlier statements of this block
+	// (`if x == nil { return }` style) accumulate as we scan.
+	local := append([]string(nil), guarded...)
+	for _, st := range block.List {
+		checkObsStmt(pass, st, &local)
+	}
+}
+
+func checkObsStmt(pass *Pass, st ast.Stmt, guarded *[]string) {
+	switch s := st.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkObsStmt(pass, s.Init, guarded)
+		}
+		checkObsExpr(pass, s.Cond, *guarded)
+		thenGuards, elseGuards := splitNilChecks(pass, s.Cond)
+		checkObsGuards(pass, s.Body, append(*guarded, thenGuards...))
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				checkObsGuards(pass, e, append(*guarded, elseGuards...))
+			case *ast.IfStmt:
+				checkObsStmt(pass, e, guarded)
+			}
+		}
+		// `if x == nil { return }` dominates the rest of the block.
+		if len(elseGuards) > 0 && terminates(s.Body) {
+			*guarded = append(*guarded, elseGuards...)
+		}
+	case *ast.BlockStmt:
+		checkObsGuards(pass, s, *guarded)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			checkObsStmt(pass, s.Init, guarded)
+		}
+		if s.Cond != nil {
+			checkObsExpr(pass, s.Cond, *guarded)
+		}
+		checkObsGuards(pass, s.Body, *guarded)
+	case *ast.RangeStmt:
+		checkObsExpr(pass, s.X, *guarded)
+		checkObsGuards(pass, s.Body, *guarded)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			checkObsStmt(pass, s.Init, guarded)
+		}
+		if s.Tag != nil {
+			checkObsExpr(pass, s.Tag, *guarded)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					g := append([]string(nil), *guarded...)
+					checkObsStmt(pass, st, &g)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					g := append([]string(nil), *guarded...)
+					checkObsStmt(pass, st, &g)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, st := range cc.Body {
+					g := append([]string(nil), *guarded...)
+					checkObsStmt(pass, st, &g)
+				}
+			}
+		}
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				// A closure runs later: guards from the enclosing scope may
+				// no longer hold, so it starts with a clean slate.
+				checkObsGuards(pass, e.Body, nil)
+				return false
+			case *ast.CallExpr:
+				reportUnguardedObs(pass, e, *guarded)
+			}
+			return true
+		})
+	}
+}
+
+// checkObsExpr scans an expression position (conditions, range operands)
+// for observer calls.
+func checkObsExpr(pass *Pass, expr ast.Expr, guarded []string) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			reportUnguardedObs(pass, call, guarded)
+		}
+		return true
+	})
+}
+
+// reportUnguardedObs reports call if it is a method call through an
+// Observer interface value whose key is not in the guarded set.
+func reportUnguardedObs(pass *Pass, call *ast.CallExpr, guarded []string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := ast.Unparen(sel.X)
+	if !isObserverType(pass.TypesInfo.TypeOf(recv)) {
+		return
+	}
+	key := exprKey(pass, recv)
+	if key == "" {
+		return // dynamic expression we cannot track; not the contract's shape
+	}
+	for _, g := range guarded {
+		if g == key {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s called without a dominating nil check on %s; the nil "+
+			"observer is the fast path and must be branch-tested at every "+
+			"emit site", exprString(recv), sel.Sel.Name, exprString(recv))
+}
+
+// splitNilChecks extracts observer guard keys from an if condition:
+// thenGuards hold inside the then-branch (x != nil), elseGuards inside
+// the else-branch (x == nil). Conjunctions distribute over the
+// then-branch; disjunctions are ignored (no branch is fully guarded).
+func splitNilChecks(pass *Pass, cond ast.Expr) (thenGuards, elseGuards []string) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			lt, _ := splitNilChecks(pass, e.X)
+			rt, _ := splitNilChecks(pass, e.Y)
+			return append(lt, rt...), nil
+		case token.NEQ, token.EQL:
+			var target ast.Expr
+			if isNilIdent(pass, e.Y) {
+				target = e.X
+			} else if isNilIdent(pass, e.X) {
+				target = e.Y
+			} else {
+				return nil, nil
+			}
+			if !isObserverType(pass.TypesInfo.TypeOf(target)) {
+				return nil, nil
+			}
+			key := exprKey(pass, ast.Unparen(target))
+			if key == "" {
+				return nil, nil
+			}
+			if e.Op == token.NEQ {
+				return []string{key}, nil
+			}
+			return nil, []string{key}
+		}
+	}
+	return nil, nil
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(ident)
+	return obj != nil && obj.Parent() == types.Universe && ident.Name == "nil"
+}
+
+// terminates reports whether a block always leaves the enclosing function
+// or loop: its last statement is return, panic, continue, break, or goto.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isObserverType reports whether t is (or aliases) an interface type
+// named Observer.
+func isObserverType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isObserverType(types.Unalias(alias))
+		}
+		return false
+	}
+	if named.Obj().Name() != "Observer" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}
+
+// exprKey canonicalizes a guardable expression — an identifier or a chain
+// of field selections rooted at one — into a comparable key. The root
+// identifier is keyed by its object, so shadowing cannot alias two
+// different variables to the same key.
+func exprKey(pass *Pass, e ast.Expr) string {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(x)
+			if obj == nil {
+				return ""
+			}
+			root := fmt.Sprintf("%p", obj)
+			return root + "." + strings.Join(parts, ".")
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// exprString renders the guard expression for the diagnostic.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	}
+	return "observer"
+}

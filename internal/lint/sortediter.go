@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SortedIter is the dataflow-aware upgrade of mapiter for output paths:
+// ranging over a map is fine in itself, but when the loop's key or value
+// flows into an output sink — an io.Writer-shaped receiver, a fmt
+// rendering call, or a report/export helper — the random iteration order
+// reaches bytes a golden file pins. The sanctioned idiom collects keys,
+// sorts them, and ranges the sorted slice; the second loop is not a map
+// range and is recognized as clean by construction.
+//
+// "Dataflow-aware" means the sink call must actually mention the loop
+// variables (or the loop must write derived state the sink reads): a body
+// that emits a constant per entry is order-independent in content, only
+// in cardinality, and is left to mapiter's stricter rules.
+var SortedIter = &Analyzer{
+	Name: "sortediter",
+	Doc: "map-iteration values must not flow into writers, exporters or " +
+		"fmt output without passing through a sort; collect keys, sort, " +
+		"then range the slice",
+	Run: runSortedIter,
+}
+
+func runSortedIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkSortedIterBody(pass, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkSortedIterBody flags output-sink calls inside one map-range body
+// that mention the loop variables.
+func checkSortedIterBody(pass *Pass, rs *ast.RangeStmt) {
+	loopVars := rangeVarObjects(pass, rs)
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := outputSinkKind(pass, call)
+		if kind == "" {
+			return true
+		}
+		if !callMentionsAny(pass, call, loopVars) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"map-iteration value flows into %s inside the loop, leaking "+
+				"iteration order into the output; collect the keys, sort "+
+				"them, and range the sorted slice", kind)
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects of the loop's key/value variables.
+func rangeVarObjects(pass *Pass, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if ident, ok := e.(*ast.Ident); ok && ident.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(ident); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// callMentionsAny reports whether the call's arguments or receiver
+// reference any of the given objects.
+func callMentionsAny(pass *Pass, call *ast.CallExpr, objs []types.Object) bool {
+	for _, obj := range objs {
+		if exprRefs(pass, call, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// outputSinkKind classifies a call as an output sink and names it for the
+// diagnostic, or returns "" when it is not one. Sinks:
+//
+//   - fmt rendering: Print*, Fprint*, Sprint*, Append* — rendered text
+//     either reaches a stream directly or almost certainly will.
+//   - methods on an io.Writer implementation (strings.Builder,
+//     bytes.Buffer, csv.Writer, any type satisfying io.Writer), the
+//     byte-level form of the same leak.
+//   - functions in a report or export package (import path ending in
+//     /report, or a Write-prefixed function of the obs package), the
+//     repo's own output layer.
+func outputSinkKind(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Package-qualified call?
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		switch path := pass.PkgPath(ident); {
+		case path == "fmt":
+			name := sel.Sel.Name
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+				strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append") {
+				return "fmt." + name
+			}
+			return ""
+		case strings.HasSuffix(path, "/report"):
+			return path[strings.LastIndex(path, "/")+1:] + "." + sel.Sel.Name
+		case strings.HasSuffix(path, "/obs") && strings.HasPrefix(sel.Sel.Name, "Write"):
+			return "obs." + sel.Sel.Name
+		}
+	}
+	// Method call on a writer-shaped receiver?
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	if recvType == nil {
+		return ""
+	}
+	if isWriterish(recvType) {
+		return typeShortName(recvType) + "." + sel.Sel.Name
+	}
+	return ""
+}
+
+// ioWriterMethods spells the io.Writer contract structurally, so the
+// check needs no import of io's export data at analysis time.
+func isWriterish(t types.Type) bool {
+	// Interface io.Writer itself, or anything with a Write([]byte) (int,
+	// error) method in its method set.
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "Write" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		slice, ok := sig.Params().At(0).Type().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if b, ok := slice.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+			return true
+		}
+	}
+	// Pointer receivers: retry with *T when given T.
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return isWriterishPtr(t)
+	}
+	return false
+}
+
+func isWriterishPtr(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		return isWriterish(types.NewPointer(named))
+	}
+	return false
+}
+
+func typeShortName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

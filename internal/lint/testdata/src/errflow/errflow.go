@@ -1,0 +1,75 @@
+// Package errflow exercises the discarded-error analyzer: a bare call
+// statement dropping an error must be consumed, explicitly discarded with
+// `_ =`, or annotated with a reason. The fmt print family and Write*
+// methods on latched writers are best-effort by convention, but Flush —
+// where a latched writer finally reports — is not.
+package errflow
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+// dropped silently discards the error.
+func dropped() {
+	mayFail() // want "silently dropped"
+}
+
+// deferred drops it on the defer path.
+func deferred(c io.Closer) {
+	defer c.Close() // want "silently dropped"
+}
+
+// spawned drops it in a goroutine.
+func spawned() {
+	go mayFail() // want "silently dropped"
+}
+
+// explicit discards are visible in review and pass.
+func explicit() {
+	_ = mayFail()
+	n, _ := value()
+	_ = n
+}
+
+// consumed handles the error.
+func consumed() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rendering through the fmt print family is best-effort by convention.
+func rendering(w io.Writer) {
+	fmt.Println("hello")
+	fmt.Fprintf(w, "x=%d\n", 1)
+}
+
+// latched writers buffer their error until Flush, which is checked here.
+func latched(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("x")
+	var sb strings.Builder
+	sb.WriteString("y")
+	return bw.Flush()
+}
+
+// unflushed drops the latched error at the end of the pipeline.
+func unflushed(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("x")
+	bw.Flush() // want "silently dropped"
+}
+
+// allowed documents why the error cannot matter.
+func allowed() {
+	mayFail() //lint:allow errflow -- fixture: error is impossible here
+}

@@ -1,0 +1,74 @@
+// Package obsguard exercises the dominating-nil-check analyzer: Observer
+// method calls must sit under a nil guard on the same expression, guards
+// on a different field do not count, early returns extend a guard to the
+// rest of the block, and closures start from a clean slate because they
+// may run long after the enclosing guard was checked.
+package obsguard
+
+// Event is the fixture payload.
+type Event struct{ T float64 }
+
+// Observer mirrors the production obs contract.
+type Observer interface {
+	Emit(Event)
+}
+
+// Sim carries two observer fields so guards on the wrong one are visible.
+type Sim struct {
+	obs   Observer
+	trace Observer
+}
+
+func (s *Sim) guarded(now float64) {
+	if s.obs != nil {
+		s.obs.Emit(Event{T: now})
+	}
+}
+
+func (s *Sim) unguarded(now float64) {
+	s.obs.Emit(Event{T: now}) // want "without a dominating nil check"
+}
+
+func (s *Sim) wrongField(now float64) {
+	if s.trace != nil {
+		s.obs.Emit(Event{T: now}) // want "without a dominating nil check"
+	}
+}
+
+func (s *Sim) earlyReturn(now float64) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Emit(Event{T: now})
+	s.obs.Emit(Event{T: now + 1})
+}
+
+func (s *Sim) conjunction(now float64, hot bool) {
+	if hot && s.obs != nil {
+		s.obs.Emit(Event{T: now})
+	}
+}
+
+// deferred guards at capture time, but the closure fires later — the
+// guard must not carry in.
+func (s *Sim) deferred(now float64) func() {
+	if s.obs == nil {
+		return nil
+	}
+	return func() {
+		s.obs.Emit(Event{T: now}) // want "without a dominating nil check"
+	}
+}
+
+func (s *Sim) closureGuarded(now float64) func() {
+	return func() {
+		if s.obs != nil {
+			s.obs.Emit(Event{T: now})
+		}
+	}
+}
+
+// allowed documents an out-of-band invariant instead of a guard.
+func (s *Sim) allowed(now float64) {
+	s.obs.Emit(Event{T: now}) //lint:allow obsguard -- fixture: constructor guarantees non-nil
+}

@@ -1,0 +1,22 @@
+// Package progrand is the transitive-globalrand fixture: the root reaches
+// the global math/rand PRNG through a helper, while an unreachable
+// function using it stays out of the findings.
+package progrand
+
+import "math/rand"
+
+// Run is the fixture's simulation entry point.
+//
+//lint:root
+func Run() int {
+	return helper()
+}
+
+func helper() int {
+	return rand.Intn(10) // want "math/rand.Intn is reachable from a simulation root"
+}
+
+// Orphan is not reachable from Run; the transitive pass must ignore it.
+func Orphan() int {
+	return rand.Int()
+}

@@ -1,0 +1,32 @@
+// Package inner supplies the sinks the progwalltime fixture reaches: a
+// two-hop static chain, an interface implementation, and a callback fired
+// through a func value.
+package inner
+
+import "time"
+
+// Helper is the cross-package chain link; the sink sits one hop deeper.
+// Its signature deliberately differs from the fixture's callback type so
+// the only route here is the static chain, keeping the printed chain
+// deterministic.
+func Helper() int {
+	return tick()
+}
+
+func tick() int {
+	return int(time.Now().UnixNano()) // want "Helper -> .*inner.tick -> time.Now"
+}
+
+// WallClock implements the root package's Clock interface.
+type WallClock struct{}
+
+// Tick is reached only through the interface dispatch in Run.
+func (WallClock) Tick() float64 {
+	return float64(time.Now().UnixNano()) // want "WallClock.?.Tick -> time.Now"
+}
+
+// Stamp is stored as a callback in the fixture Sim and fired through a
+// func value; only the address-taken dynamic edges reach it.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano()) // want "inner.Stamp -> time.Now"
+}

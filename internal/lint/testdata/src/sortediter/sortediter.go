@@ -1,0 +1,64 @@
+// Package sortediter exercises the deterministic-output analyzer: map
+// iteration values must not flow into printers, writers, or exporters
+// inside the loop. Collect-sort-range is the sanctioned idiom; sinks that
+// do not mention the iteration variables are aggregation and pass.
+package sortediter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// leakOrder prints map entries straight out of the range loop.
+func leakOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "map-iteration value flows into fmt.Printf"
+	}
+}
+
+// sortedFirst is the sanctioned idiom: collect, sort, range the slice.
+func sortedFirst(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// builder streams entries into an io.Writer-shaped receiver.
+func builder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "flows into Builder.WriteString"
+	}
+	return b.String()
+}
+
+// countOnly aggregates without leaking entries into output.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	fmt.Println(n)
+	return n
+}
+
+// heartbeat emits inside the loop but mentions no iteration variable, so
+// the output is order-independent.
+func heartbeat(m map[string]int) {
+	for range m {
+		fmt.Println("tick")
+	}
+}
+
+// allowed waives the check for order-insensitive debug output.
+func allowed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:allow sortediter -- fixture: order-insensitive debug dump
+	}
+}
