@@ -97,6 +97,7 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 		//lint:allow walltime -- measurement layer: wall time never feeds the simulation
 		start := time.Now()
 		target := benchTarget(fig, extra, quick)
+		//lint:allow walltime -- measurement closure; wall time never feeds the simulation
 		defer func() {
 			if exitCode != 0 {
 				return // a failed run's timing is meaningless

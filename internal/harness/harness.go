@@ -193,6 +193,12 @@ func (p *Pool) runJob(j Job) RunResult {
 }
 
 // runOnce executes one attempt, guarded by the watchdog when armed.
+//
+// The transitive walltime check requires the assertion at this level, not
+// just at the sink: the watchdog timer is wall-clock ON PURPOSE even
+// though every simulation run flows through here — it decides when to
+// abandon a hung attempt and never feeds a value into a simulation.
+//lint:allow walltime -- watchdog only; wall time never enters a simulation
 func (p *Pool) runOnce(cfg core.Config) (*core.Result, error) {
 	if p.timeout <= 0 {
 		return runRecovered(cfg)

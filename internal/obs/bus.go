@@ -90,6 +90,8 @@ func NewBus() *Bus {
 }
 
 // Emit records the event and updates the derived metrics.
+//
+//hot:allocfree
 func (b *Bus) Emit(ev Event) {
 	b.rec.Record(ev)
 	b.events.Inc()

@@ -169,6 +169,8 @@ func (s *Server) BusyCoreSeconds() float64 { return s.busyCoreSecs }
 func (s *Server) FreqChanges() uint64 { return s.freqChangeCnt }
 
 // share returns the core share each active request receives.
+//
+//hot:allocfree
 func (s *Server) share() float64 {
 	n := len(s.active)
 	if n == 0 {
@@ -182,6 +184,8 @@ func (s *Server) share() float64 {
 
 // speedOf returns the demand-depletion rate of one request at the current
 // operating point: core share × (f/f_max)^beta.
+//
+//hot:allocfree
 func (s *Server) speedOf(r *workload.Request) float64 {
 	return s.share() * s.speedTab[r.Class]
 }
@@ -193,6 +197,8 @@ func (s *Server) speedOf(r *workload.Request) float64 {
 // The returned slice is owned by the server and reused: it is valid until
 // the next Advance or FailAll call. Callers that need the requests longer
 // must copy them out first; the simulation driver consumes them in place.
+//
+//hot:allocfree
 func (s *Server) Advance(now float64) []*workload.Request {
 	dt := now - s.lastAdv
 	if dt < 0 {
@@ -223,6 +229,7 @@ func (s *Server) Advance(now float64) []*workload.Request {
 					s.obs.Emit(obs.Event{
 						T: now, Kind: obs.KindReqComplete,
 						Server: int32(s.ID), Class: int32(r.Class), ID: r.ID,
+						//lint:allow hotalloc -- inlined Class.String: only its invalid-class fallback boxes, never taken here
 						A: r.StartAt, B: now - r.ArriveAt, Label: r.Class.String(),
 					})
 				}
@@ -279,6 +286,8 @@ func (s *Server) Admit(now float64, r *workload.Request) bool {
 
 // NextCompletion returns the absolute time of the earliest completion under
 // the current operating point, or ok=false when idle.
+//
+//hot:allocfree
 func (s *Server) NextCompletion() (at float64, ok bool) {
 	if len(s.active) == 0 {
 		return 0, false
@@ -304,6 +313,8 @@ func (s *Server) NextCompletion() (at float64, ok bool) {
 // mix summarizes the active set as indexed power-model components, one per
 // class, cached under the version counter so repeated power queries at an
 // unchanged operating point (the governors' planning loops) reuse it.
+//
+//hot:allocfree
 func (s *Server) mix() []power.IndexedComponent {
 	if s.mixValid && s.mixVer == s.version {
 		return s.mixBuf
@@ -333,6 +344,8 @@ func (s *Server) mix() []power.IndexedComponent {
 
 // PowerNow returns the instantaneous draw at the current operating point.
 // A crashed node draws nothing.
+//
+//hot:allocfree
 func (s *Server) PowerNow() power.Watts {
 	if s.down {
 		return 0
@@ -347,6 +360,8 @@ func (s *Server) PowerNow() power.Watts {
 // PowerAt predicts the draw if the frequency were capped to f with the
 // current load mix — the governor's planning primitive. A crashed node
 // predicts zero at every level, so governors see no savings in it.
+//
+//hot:allocfree
 func (s *Server) PowerAt(f power.GHz) power.Watts {
 	if s.down {
 		return 0
@@ -360,6 +375,8 @@ func (s *Server) Freq() power.GHz { return s.freq }
 // CapFreq snaps the server to the given ladder level. The caller must have
 // advanced the server to the decision instant first, because a frequency
 // change alters all in-flight completion times.
+//
+//hot:allocfree
 func (s *Server) CapFreq(f power.GHz) {
 	nf := s.Model.Ladder.Clamp(f)
 	//lint:allow floateq -- both sides come from the same discrete DVFS ladder

@@ -44,6 +44,8 @@ type Event struct {
 // Cancel marks the event so it will not fire. Cancelling an already-fired,
 // already-cancelled, or zero event is a no-op — in particular a double
 // Cancel does not corrupt the engine's live-event accounting.
+//
+//hot:allocfree
 func (e Event) Cancel() {
 	ev := e.ev
 	if ev == nil || ev.gen != e.gen || ev.cancelled {
@@ -112,6 +114,8 @@ func (e *Engine) Pending() int { return e.live }
 // Schedule queues fn to run at the given absolute time. Scheduling in the
 // past (before Now) panics: that is always a simulator bug, and silently
 // clamping it would hide causality violations.
+//
+//hot:allocfree
 func (e *Engine) Schedule(at Seconds, fn func(now Seconds)) Event {
 	if math.IsNaN(at) {
 		panic("simtime: schedule at NaN")
@@ -125,7 +129,7 @@ func (e *Engine) Schedule(at Seconds, fn func(now Seconds)) Event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &event{eng: e}
+		ev = &event{eng: e} //lint:allow hotalloc -- pool miss: warms the event pool once, steady state recycles
 	}
 	ev.at = at
 	ev.seq = e.seq
@@ -144,6 +148,8 @@ func (e *Engine) After(delay Seconds, fn func(now Seconds)) Event {
 
 // recycle returns a popped event struct to the pool. Bumping gen first
 // makes every outstanding handle to it inert.
+//
+//hot:allocfree
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil // release the closure; pooled structs must not pin memory
@@ -152,6 +158,8 @@ func (e *Engine) recycle(ev *event) {
 
 // pop removes and returns the earliest live event, recycling any cancelled
 // events it uncovers. It returns nil when the queue has no live events.
+//
+//hot:allocfree
 func (e *Engine) pop() *event {
 	for len(e.events) > 0 {
 		ev := e.popMin()
@@ -167,6 +175,8 @@ func (e *Engine) pop() *event {
 
 // Step fires the single earliest pending event. It returns false when the
 // queue is empty.
+//
+//hot:allocfree
 func (e *Engine) Step() bool {
 	ev := e.pop()
 	if ev == nil {
@@ -183,6 +193,8 @@ func (e *Engine) Step() bool {
 // RunUntil fires events in order until the clock would pass horizon or the
 // queue drains. The clock is left at exactly horizon when the horizon is hit
 // so that periodic processes can resume cleanly.
+//
+//hot:allocfree
 func (e *Engine) RunUntil(horizon Seconds) {
 	for len(e.events) > 0 {
 		// Peek; recycle cancelled tops without firing.
@@ -249,6 +261,8 @@ func less(a, b *event) bool {
 }
 
 // push appends ev and restores the heap property.
+//
+//hot:allocfree
 func (e *Engine) push(ev *event) {
 	e.events = append(e.events, ev)
 	i := len(e.events) - 1
@@ -263,6 +277,8 @@ func (e *Engine) push(ev *event) {
 }
 
 // popMin removes and returns the heap root without looking at cancellation.
+//
+//hot:allocfree
 func (e *Engine) popMin() *event {
 	h := e.events
 	root := h[0]
@@ -277,6 +293,8 @@ func (e *Engine) popMin() *event {
 }
 
 // siftDown restores the heap property below node i.
+//
+//hot:allocfree
 func (e *Engine) siftDown(i int) {
 	h := e.events
 	n := len(h)
@@ -330,6 +348,10 @@ func (e *Engine) Tick(start, period Seconds, fn func(now Seconds)) *Ticker {
 	return t
 }
 
+// fire runs one tick and re-arms via the pre-bound method value, so the
+// periodic path schedules without creating a closure.
+//
+//hot:allocfree
 func (t *Ticker) fire(now Seconds) {
 	if t.done {
 		return

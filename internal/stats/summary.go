@@ -19,6 +19,8 @@ type Summary struct {
 }
 
 // Add incorporates one sample.
+//
+//hot:allocfree
 func (s *Summary) Add(x float64) {
 	s.n++
 	if s.n == 1 {
@@ -130,6 +132,8 @@ type Sample struct {
 }
 
 // Add appends one observation.
+//
+//hot:allocfree
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
 }
@@ -149,6 +153,8 @@ func (s *Sample) Values() []float64 {
 
 // sort brings the whole sample into sorted order. Only the unsorted suffix
 // pays an O(k log k) sort; folding it into the sorted prefix is linear.
+//
+//hot:allocfree
 func (s *Sample) sort() {
 	n := len(s.xs)
 	if s.sortedN == n {
@@ -164,7 +170,7 @@ func (s *Sample) sort() {
 			// Grow geometrically: interleaved Add/query workloads extend the
 			// prefix by a few elements per merge, and exact-size allocation
 			// would re-allocate the scratch on every query.
-			s.scratch = make([]float64, 0, 2*s.sortedN)
+			s.scratch = make([]float64, 0, 2*s.sortedN) //lint:allow hotalloc -- scratch growth is amortized; steady state reuses the buffer
 		}
 		head := s.scratch[:s.sortedN]
 		copy(head, s.xs[:s.sortedN])
@@ -191,6 +197,8 @@ func (s *Sample) sort() {
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
 // interpolation between closest ranks. With no samples it returns 0.
+//
+//hot:allocfree
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
