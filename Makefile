@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet lint test race fuzz chaos verify bench
+.PHONY: build vet lint lint-baseline test race fuzz chaos verify bench
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism lint suite (internal/lint) plus go vet; see DESIGN.md
-# "Determinism contract".
+# Determinism lint suite (internal/lint) plus go vet: eight per-package
+# analyzers, the whole-program reachability pass (transitive walltime /
+# globalrand with call chains), and the hotalloc escape-analysis gate,
+# ratcheted against the checked-in baseline. See DESIGN.md "Static
+# analysis".
 lint:
-	$(GO) run ./cmd/antidope-lint ./...
+	$(GO) run ./cmd/antidope-lint -baseline lint.baseline.json ./...
+
+# Regenerate the ratchet baseline. Only for adopting the linter on a tree
+# with pre-existing findings; the checked-in baseline is empty and should
+# stay that way.
+lint-baseline:
+	$(GO) run ./cmd/antidope-lint -write-baseline lint.baseline.json ./...
 
 test:
 	$(GO) test ./...
@@ -48,5 +57,6 @@ bench:
 	  $(GO) test -run='^$$' -bench 'BenchmarkModelPower$$|BenchmarkModelPowerLadder|BenchmarkTablePowerLadder' -benchmem -benchtime=2s ./internal/power; \
 	  $(GO) test -run='^$$' -bench 'BenchmarkPercentile' -benchmem -benchtime=2s ./internal/stats; \
 	  $(GO) test -run='^$$' -bench 'BenchmarkBusEmit|BenchmarkRecorderRecord' -benchmem -benchtime=2s ./internal/obs; \
+	  $(GO) test -run='^$$' -bench 'BenchmarkLintLoad' -benchmem -benchtime=5x ./internal/lint; \
 	  $(GO) test -run='^$$' -bench 'BenchmarkAllQuick/sequential' -benchtime=3x . ; \
 	} | $(GO) run ./cmd/benchregress -baseline BENCH_3.json -tolerance $(BENCH_TOLERANCE) -out BENCH_new.json
