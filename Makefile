@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build vet lint lint-baseline test race fuzz chaos verify bench
+.PHONY: build vet lint lint-baseline test race fuzz fuzz-scenario coverfloor chaos verify bench
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,17 @@ race:
 # Coverage-guided smoke of the full simulator; CI runs the same budget.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSim -fuzztime=30s ./internal/core
+
+# Scenario-DSL fuzz smoke: arbitrary bytes through parse -> normalize ->
+# marshal -> compile; asserts no panics, canonical-form fixed point, and
+# deterministic compilation. No simulations run, so iterations are cheap.
+fuzz-scenario:
+	$(GO) test -run='^$$' -fuzz=FuzzScenario -fuzztime=30s ./internal/scenario
+
+# Statement-coverage floor for the scenario DSL front end; mirrors the CI
+# gate so a lost test trips locally too.
+coverfloor:
+	sh scripts/coverfloor.sh 80 ./internal/scenario
 
 # Fault-injection suite under the race detector plus a fuzz smoke that feeds
 # malformed fault schedules into full runs; mirrors the CI chaos job. See

@@ -10,6 +10,8 @@
 //	paperbench -parallel 1  # force sequential execution (same output)
 //	paperbench -quick -cpuprofile cpu.pprof   # profile the suite
 //	paperbench -quick -benchjson run.json     # record wall time as bench JSON
+//	paperbench -scenario scenarios/fig12_dope.yaml   # one declarative scenario
+//	paperbench -scenario-dir scenarios               # a whole scenario suite
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -25,6 +28,7 @@ import (
 
 	"antidope/internal/experiments"
 	"antidope/internal/obs"
+	"antidope/internal/scenario"
 )
 
 func main() {
@@ -34,6 +38,9 @@ func main() {
 		fig      = flag.Int("fig", 0, "run a single figure (3..19); 0 = all")
 		extra    = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|resilience|thermal")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (output is identical at any setting; 1 = sequential)")
+
+		scenarioFile = flag.String("scenario", "", "run one declarative scenario file (.yaml/.yml/.json; see EXPERIMENTS.md)")
+		scenarioDir  = flag.String("scenario-dir", "", "run every scenario in a directory, in file-name order")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -46,8 +53,8 @@ func main() {
 
 	// run holds the actual work so the deferred profile/JSON writers flush
 	// before the process exits; os.Exit inside run would skip them.
-	os.Exit(run(*quick, *seed, *fig, *extra, *parallel, *cpuprofile, *memprofile, *benchjson,
-		*traceLabel, *traceOut))
+	os.Exit(run(*quick, *seed, *fig, *extra, *parallel, *scenarioFile, *scenarioDir,
+		*cpuprofile, *memprofile, *benchjson, *traceLabel, *traceOut))
 }
 
 // errExit unwinds run() on an experiment error after it has already been
@@ -55,7 +62,7 @@ func main() {
 var errExit = errors.New("exit")
 
 func run(quick bool, seed uint64, fig int, extra string, parallel int,
-	cpuprofile, memprofile, benchjson, traceLabel, traceOut string) (exitCode int) {
+	scenarioFile, scenarioDir, cpuprofile, memprofile, benchjson, traceLabel, traceOut string) (exitCode int) {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -96,7 +103,7 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 	if benchjson != "" {
 		//lint:allow walltime -- measurement layer: wall time never feeds the simulation
 		start := time.Now()
-		target := benchTarget(fig, extra, quick)
+		target := benchTarget(fig, extra, scenarioFile, scenarioDir, quick)
 		//lint:allow walltime -- measurement closure; wall time never feeds the simulation
 		defer func() {
 			if exitCode != 0 {
@@ -162,6 +169,35 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			panic(errExit)
 		}
+	}
+
+	if scenarioFile != "" || scenarioDir != "" {
+		if scenarioFile != "" && scenarioDir != "" {
+			fmt.Fprintln(os.Stderr, "paperbench: -scenario and -scenario-dir are mutually exclusive")
+			return 1
+		}
+		var entries []scenario.Entry
+		if scenarioDir != "" {
+			var err error
+			entries, err = scenario.LoadDir(scenarioDir)
+			check(err)
+		} else {
+			s, err := scenario.Load(scenarioFile)
+			check(err)
+			entries = []scenario.Entry{{Path: scenarioFile, Scenario: s}}
+		}
+		failed := 0
+		for _, e := range entries {
+			res, err := scenario.Run(e.Scenario, o)
+			check(err)
+			res.Fprint(w)
+			failed += res.Failed()
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "paperbench: %d scenario acceptance checks failed\n", failed)
+			return 1
+		}
+		return 0
 	}
 
 	if extra != "" {
@@ -322,9 +358,14 @@ func writeTrace(path string, bus *obs.Bus) error {
 
 // benchTarget names the timing entry for a run, mirroring go test -bench
 // naming so benchregress can compare paperbench timings with micro-benchmarks.
-func benchTarget(fig int, extra string, quick bool) string {
+func benchTarget(fig int, extra, scenarioFile, scenarioDir string, quick bool) string {
 	name := "PaperbenchAll"
 	switch {
+	case scenarioFile != "":
+		base := strings.TrimSuffix(filepath.Base(scenarioFile), filepath.Ext(scenarioFile))
+		name = "PaperbenchScenario/" + base
+	case scenarioDir != "":
+		name = "PaperbenchScenarioDir/" + filepath.Base(scenarioDir)
 	case extra != "":
 		name = "PaperbenchX/" + extra
 	case fig != 0:

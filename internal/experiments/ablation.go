@@ -52,7 +52,7 @@ func ablationVariants() []struct {
 // Ablation runs every variant against the steady three-class DOPE
 // injection at Medium-PB.
 func Ablation(o Options) (*AblationResult, error) {
-	horizon := o.horizon(300)
+	horizon := o.Horizon(300)
 	out := &AblationResult{
 		MeanRT:     make(map[string]float64),
 		P90RT:      make(map[string]float64),
@@ -72,10 +72,10 @@ func Ablation(o Options) (*AblationResult, error) {
 	jobs := make([]harness.Job, len(variants))
 	for i, v := range variants {
 		schemes[i] = v.build()
-		jobs[i] = evalJob(o, "ablation/"+v.name, schemes[i], cluster.MediumPB,
-			evalAttackSpecs(10, horizon), horizon)
+		jobs[i] = EvalJob(o, "ablation/"+v.name, schemes[i], cluster.MediumPB,
+			EvalAttackSpecs(10, horizon), horizon)
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -23,7 +23,7 @@ type CapacityResult struct {
 // Each binary search is internally sequential (probe N+1 depends on probe
 // N's verdict), so the parallelism is across the five searches instead.
 func Capacity(o Options) (*CapacityResult, error) {
-	horizon := o.horizon(120)
+	horizon := o.Horizon(120)
 	objectives := sla.Default()
 	probes := 6
 	if o.Quick {
@@ -43,15 +43,15 @@ func Capacity(o Options) (*CapacityResult, error) {
 	errs := make([]error, len(names)+1)
 	fns := make([]func(), len(names)+1)
 	fns[0] = func() {
-		template := evalConfig(o, "capacity/baseline", schemeByName("capping"),
+		template := EvalConfig(o, "capacity/baseline", SchemeByName("capping"),
 			cluster.MediumPB, nil, horizon)
 		rps[0], errs[0] = sla.MaxLegitRPS(template, objectives, 50, 3000, probes)
 	}
 	for i, name := range names {
 		i, name := i, name
 		fns[i+1] = func() {
-			template := evalConfig(o, "capacity/"+name, schemeByName(name),
-				cluster.MediumPB, evalAttackSpecs(10, horizon), horizon)
+			template := EvalConfig(o, "capacity/"+name, SchemeByName(name),
+				cluster.MediumPB, EvalAttackSpecs(10, horizon), horizon)
 			rps[i+1], errs[i+1] = sla.MaxLegitRPS(template, objectives, 20, 3000, probes)
 		}
 	}

@@ -44,7 +44,7 @@ func detectionAttacks(start, horizon float64) map[string][]attack.Spec {
 // Detection runs each scenario undefended at Normal-PB (pure observation)
 // and replays the power series through the detectors.
 func Detection(o Options) (*DetectionResult, error) {
-	horizon := o.horizon(400)
+	horizon := o.Horizon(400)
 	const start = 60.0
 	out := &DetectionResult{Delay: make(map[string]map[string]float64)}
 	out.Table = &Table{
@@ -56,11 +56,11 @@ func Detection(o Options) (*DetectionResult, error) {
 	scenarios := detectionAttacks(start, horizon)
 	var jobs []harness.Job
 	for _, name := range names {
-		cfg := baseConfig(o, "detect/"+name, horizon)
+		cfg := BaseConfig(o, "detect/"+name, horizon)
 		cfg.Attacks = scenarios[name]
 		jobs = append(jobs, harness.Job{Label: "detect/" + name, Config: cfg})
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -16,10 +16,10 @@ import (
 // concurrent Colla-Filt / K-means / Word-Count floods, each spread over 32
 // agents so no source approaches the firewall threshold.
 
-// evalLegitSources is the legitimate mix: the blended AliOS stream plus
+// EvalLegitSources is the legitimate mix: the blended AliOS stream plus
 // low-rate organic traffic to every victim endpoint (so PDF's collateral
 // effect on heavy legitimate requests is measurable, as in Figure 15-b).
-func evalLegitSources() []core.SourceSpec {
+func EvalLegitSources() []core.SourceSpec {
 	mk := func(class workload.Class, rps float64, n int, base workload.SourceID) core.SourceSpec {
 		return core.SourceSpec{
 			Source: workload.Source{
@@ -38,8 +38,8 @@ func evalLegitSources() []core.SourceSpec {
 	}
 }
 
-// evalAttackSpecs is the steady three-class DOPE injection.
-func evalAttackSpecs(start, until float64) []attack.Spec {
+// EvalAttackSpecs is the steady three-class DOPE injection.
+func EvalAttackSpecs(start, until float64) []attack.Spec {
 	mk := func(name string, class workload.Class, rps float64) attack.Spec {
 		return attack.Spec{
 			Name: name, Layer: attack.ApplicationLayer, Class: class,
@@ -53,10 +53,10 @@ func evalAttackSpecs(start, until float64) []attack.Spec {
 	}
 }
 
-// switchingAttackSpecs rotates a single-class flood among the three DOPE
+// SwitchingAttackSpecs rotates a single-class flood among the three DOPE
 // classes every switchSec — the Figure 15/18 "attack switches among 3
 // evaluated DOPE attack types per 2 minutes" scenario.
-func switchingAttackSpecs(start, until, switchSec float64) []attack.Spec {
+func SwitchingAttackSpecs(start, until, switchSec float64) []attack.Spec {
 	classes := []workload.Class{workload.CollaFilt, workload.KMeans, workload.WordCount}
 	rates := map[workload.Class]float64{
 		workload.CollaFilt: 90,
@@ -81,10 +81,10 @@ func switchingAttackSpecs(start, until, switchSec float64) []attack.Spec {
 	return specs
 }
 
-// evalConfig assembles one Section 6 run. The firewall is live (DOPE flies
+// EvalConfig assembles one Section 6 run. The firewall is live (DOPE flies
 // under it); legit traffic and the attack mix are fixed; scheme and budget
 // vary.
-func evalConfig(o Options, label string, scheme defense.Scheme,
+func EvalConfig(o Options, label string, scheme defense.Scheme,
 	budget cluster.BudgetLevel, attacks []attack.Spec, horizon float64) core.Config {
 	cfg := core.Config{
 		Cluster:               cluster.DefaultConfig(),
@@ -96,7 +96,7 @@ func evalConfig(o Options, label string, scheme defense.Scheme,
 		WarmupSec:             10,
 		DopeEpochSec:          10,
 		DopeEffectiveSlowdown: 3,
-		Seed:                  o.seedFor(label),
+		Seed:                  o.SeedFor(label),
 		Attacks:               attacks,
 	}
 	cfg.Cluster.Budget = budget
@@ -107,11 +107,11 @@ func evalConfig(o Options, label string, scheme defense.Scheme,
 	return cfg
 }
 
-// evalJob builds an evaluation run with the multi-endpoint legitimate mix
+// EvalJob builds an evaluation run with the multi-endpoint legitimate mix
 // injected directly (bypassing the single-class NormalRPS shortcut).
-func evalJob(o Options, label string, scheme defense.Scheme,
+func EvalJob(o Options, label string, scheme defense.Scheme,
 	budget cluster.BudgetLevel, attacks []attack.Spec, horizon float64) harness.Job {
-	cfg := evalConfig(o, label, scheme, budget, attacks, horizon)
-	cfg.ExtraSources = evalLegitSources()
+	cfg := EvalConfig(o, label, scheme, budget, attacks, horizon)
+	cfg.ExtraSources = EvalLegitSources()
 	return harness.Job{Label: label, Config: cfg}
 }

@@ -39,8 +39,11 @@ type Options struct {
 // DefaultOptions is the full-fidelity setting used for EXPERIMENTS.md.
 func DefaultOptions() Options { return Options{Seed: 2019} }
 
-// horizon picks the observation window, honouring Quick mode.
-func (o Options) horizon(full float64) float64 {
+// Horizon picks the observation window, honouring Quick mode: Quick
+// shrinks the full-fidelity window ~4x with a 30 s floor. The scenario
+// compiler (internal/scenario) reuses this seam so DSL-compiled runs
+// shrink exactly like their hand-written twins.
+func (o Options) Horizon(full float64) float64 {
 	if o.Quick {
 		h := full / 4
 		if h < 30 {
@@ -51,8 +54,8 @@ func (o Options) horizon(full float64) float64 {
 	return full
 }
 
-// seedFor derives a stable per-run seed from a label.
-func (o Options) seedFor(label string) uint64 {
+// SeedFor derives a stable per-run seed from a label.
+func (o Options) SeedFor(label string) uint64 {
 	h := o.Seed ^ 0x9e3779b97f4a7c15
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
@@ -64,10 +67,10 @@ func (o Options) seedFor(label string) uint64 {
 // pool builds the worker pool every runner submits its jobs to.
 func (o Options) pool() *harness.Pool { return harness.New(o.Parallel) }
 
-// runJobs executes the jobs on the options' pool and returns the bare
+// RunJobs executes the jobs on the options' pool and returns the bare
 // results in submission order. A non-nil error joins every job that still
 // failed after the harness's retry; results are unusable in that case.
-func runJobs(o Options, jobs []harness.Job) ([]*core.Result, error) {
+func RunJobs(o Options, jobs []harness.Job) ([]*core.Result, error) {
 	if o.Observe != nil {
 		for i := range jobs {
 			if ob := o.Observe(jobs[i].Label); ob != nil {

@@ -27,20 +27,20 @@ func TestTableFormatting(t *testing.T) {
 
 func TestOptionsHorizonAndSeeds(t *testing.T) {
 	o := DefaultOptions()
-	if o.horizon(600) != 600 {
+	if o.Horizon(600) != 600 {
 		t.Fatal("full horizon altered")
 	}
 	o.Quick = true
-	if h := o.horizon(600); h != 150 {
+	if h := o.Horizon(600); h != 150 {
 		t.Fatalf("quick horizon %g", h)
 	}
-	if h := o.horizon(40); h != 30 {
+	if h := o.Horizon(40); h != 30 {
 		t.Fatalf("quick floor %g", h)
 	}
-	if o.seedFor("a") == o.seedFor("b") {
+	if o.SeedFor("a") == o.SeedFor("b") {
 		t.Fatal("seed labels collide")
 	}
-	if o.seedFor("a") != o.seedFor("a") {
+	if o.SeedFor("a") != o.SeedFor("a") {
 		t.Fatal("seed not stable")
 	}
 }

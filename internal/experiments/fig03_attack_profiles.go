@@ -25,7 +25,7 @@ type Fig3Result struct {
 // Fig3 runs every attack family of the catalog against the Section 3 rack
 // (Normal-PB, no firewall — raw power observation).
 func Fig3(o Options) (*Fig3Result, error) {
-	horizon := o.horizon(600)
+	horizon := o.Horizon(600)
 	out := &Fig3Result{
 		Table:  &Table{Title: "Figure 3: power profile of typical cyber-attacks"},
 		Series: make(map[string]stats.Series),
@@ -43,11 +43,11 @@ func Fig3(o Options) (*Fig3Result, error) {
 	for _, spec := range catalog {
 		spec.Duration = horizon - 5
 		spec.Start = 5
-		cfg := baseConfig(o, "fig3/"+spec.Name, horizon)
+		cfg := BaseConfig(o, "fig3/"+spec.Name, horizon)
 		cfg.Attacks = []attack.Spec{spec}
 		jobs = append(jobs, harness.Job{Label: "fig3/" + spec.Name, Config: cfg})
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

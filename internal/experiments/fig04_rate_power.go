@@ -30,7 +30,7 @@ var Fig4CDFRates = []float64{10, 100, 1000}
 
 // Fig4 runs the sweep on the unprotected Normal-PB rack.
 func Fig4(o Options) (*Fig4Result, error) {
-	horizon := o.horizon(240)
+	horizon := o.Horizon(240)
 	rates := Fig4Rates
 	if o.Quick {
 		rates = []float64{10, 100, 400, 1000}
@@ -45,13 +45,13 @@ func Fig4(o Options) (*Fig4Result, error) {
 	for _, class := range workload.VictimClasses() {
 		for _, rate := range rates {
 			label := fmt.Sprintf("fig4a/%v/%g", class, rate)
-			jobs = append(jobs, floodJob(o, label, class, rate, cluster.NormalPB, nil, false, horizon))
+			jobs = append(jobs, FloodJob(o, label, class, rate, cluster.NormalPB, nil, false, horizon))
 		}
 	}
 	for _, rate := range Fig4CDFRates {
-		jobs = append(jobs, mixedFloodJob(o, fmt.Sprintf("fig4b/%g", rate), rate, horizon))
+		jobs = append(jobs, MixedFloodJob(o, fmt.Sprintf("fig4b/%g", rate), rate, horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,7 @@ func Fig5Classes() []workload.Class {
 
 // Fig5 runs each traffic type at 100 req/s on the unprotected rack.
 func Fig5(o Options) (*Fig5Result, error) {
-	horizon := o.horizon(600)
+	horizon := o.Horizon(600)
 	const rate = 100
 	ccfg := cluster.DefaultConfig()
 	nameplate := float64(ccfg.Servers) * ccfg.Model.Nameplate
@@ -54,10 +54,10 @@ func Fig5(o Options) (*Fig5Result, error) {
 
 	var jobs []harness.Job
 	for _, class := range Fig5Classes() {
-		jobs = append(jobs, floodJob(o, "fig5/"+class.String(), class, rate,
+		jobs = append(jobs, FloodJob(o, "fig5/"+class.String(), class, rate,
 			cluster.NormalPB, nil, false, horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,7 @@ var Fig6Rates = []float64{25, 50, 100, 200, 400, 700, 1000}
 
 // Fig6 runs the sweep with the Capping scheme at Medium-PB.
 func Fig6(o Options) (*Fig6Result, error) {
-	horizon := o.horizon(240)
+	horizon := o.Horizon(240)
 	rates := Fig6Rates
 	if o.Quick {
 		rates = []float64{50, 200, 1000}
@@ -50,11 +50,11 @@ func Fig6(o Options) (*Fig6Result, error) {
 	for _, class := range workload.VictimClasses() {
 		for _, rate := range rates {
 			label := fmt.Sprintf("fig6/%v/%g", class, rate)
-			jobs = append(jobs, floodJob(o, label, class, rate, cluster.MediumPB,
-				schemeByName("capping"), false, horizon))
+			jobs = append(jobs, FloodJob(o, label, class, rate, cluster.MediumPB,
+				SchemeByName("capping"), false, horizon))
 		}
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

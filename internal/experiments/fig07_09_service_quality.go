@@ -29,7 +29,7 @@ var Fig7Rates = []float64{0, 50, 100, 200, 400, 700, 1000}
 
 // Fig7 runs the sweep with a Colla-Filt flood.
 func Fig7(o Options) (*Fig7Result, error) {
-	horizon := o.horizon(240)
+	horizon := o.Horizon(240)
 	rates := Fig7Rates
 	if o.Quick {
 		rates = []float64{0, 100, 400, 1000}
@@ -43,10 +43,10 @@ func Fig7(o Options) (*Fig7Result, error) {
 	var jobs []harness.Job
 	for _, rate := range rates {
 		label := fmt.Sprintf("fig7/%g", rate)
-		jobs = append(jobs, floodJob(o, label, workload.CollaFilt, rate, cluster.LowPB,
-			schemeByName("capping"), false, horizon))
+		jobs = append(jobs, FloodJob(o, label, workload.CollaFilt, rate, cluster.LowPB,
+			SchemeByName("capping"), false, horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +98,7 @@ type Fig8Result struct {
 
 // Fig8 measures the attack class's own service time at both budgets.
 func Fig8(o Options) (*Fig8Result, error) {
-	horizon := o.horizon(180)
+	horizon := o.Horizon(180)
 	const rate = 400
 	out := &Fig8Result{Slowdown: make(map[workload.Class]float64)}
 	out.Table = &Table{
@@ -107,12 +107,12 @@ func Fig8(o Options) (*Fig8Result, error) {
 	}
 	var jobs []harness.Job
 	for _, class := range workload.VictimClasses() {
-		jobs = append(jobs, floodJob(o, "fig8base/"+class.String(), class, rate,
-			cluster.NormalPB, schemeByName("capping"), false, horizon))
-		jobs = append(jobs, floodJob(o, "fig8lim/"+class.String(), class, rate,
-			cluster.MediumPB, schemeByName("capping"), false, horizon))
+		jobs = append(jobs, FloodJob(o, "fig8base/"+class.String(), class, rate,
+			cluster.NormalPB, SchemeByName("capping"), false, horizon))
+		jobs = append(jobs, FloodJob(o, "fig8lim/"+class.String(), class, rate,
+			cluster.MediumPB, SchemeByName("capping"), false, horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +175,7 @@ type Fig9Result struct {
 // Fig9 floods the rack at every budget level and measures legitimate
 // availability (completed/offered).
 func Fig9(o Options) (*Fig9Result, error) {
-	horizon := o.horizon(180)
+	horizon := o.Horizon(180)
 	const rate = 700
 	out := &Fig9Result{Availability: make(map[cluster.BudgetLevel]float64)}
 	out.Table = &Table{
@@ -184,10 +184,10 @@ func Fig9(o Options) (*Fig9Result, error) {
 	}
 	var jobs []harness.Job
 	for _, budget := range cluster.AllBudgetLevels() {
-		jobs = append(jobs, floodJob(o, "fig9/"+budget.String(), workload.CollaFilt, rate,
-			budget, schemeByName("capping"), false, horizon))
+		jobs = append(jobs, FloodJob(o, "fig9/"+budget.String(), workload.CollaFilt, rate,
+			budget, SchemeByName("capping"), false, horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

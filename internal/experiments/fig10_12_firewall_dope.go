@@ -28,7 +28,7 @@ type Fig10Result struct {
 // req/s/agent — well above the deflate threshold) with the firewall off and
 // on.
 func Fig10(o Options) (*Fig10Result, error) {
-	horizon := o.horizon(300)
+	horizon := o.Horizon(300)
 	out := &Fig10Result{
 		With:     make(map[workload.Class]stats.CDF),
 		Without:  make(map[workload.Class]stats.CDF),
@@ -40,7 +40,7 @@ func Fig10(o Options) (*Fig10Result, error) {
 	}
 	mkJob := func(class workload.Class, fwOn bool) harness.Job {
 		label := fmt.Sprintf("fig10/%v/fw=%v", class, fwOn)
-		cfg := baseConfig(o, label, horizon)
+		cfg := BaseConfig(o, label, horizon)
 		if fwOn {
 			cfg.Firewall = firewall.DefaultConfig()
 		}
@@ -55,7 +55,7 @@ func Fig10(o Options) (*Fig10Result, error) {
 	for _, class := range workload.VictimClasses() {
 		jobs = append(jobs, mkJob(class, false), mkJob(class, true))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ type Fig11Result struct {
 
 // Fig11 sweeps rates per class on the unprotected Medium-PB rack.
 func Fig11(o Options) (*Fig11Result, error) {
-	horizon := o.horizon(120)
+	horizon := o.Horizon(120)
 	fw := firewall.DefaultConfig()
 	const agents = 8
 	out := &Fig11Result{
@@ -140,10 +140,10 @@ func Fig11(o Options) (*Fig11Result, error) {
 	for _, class := range workload.VictimClasses() {
 		for _, rate := range sweep {
 			label := fmt.Sprintf("fig11/%v/%g", class, rate)
-			jobs = append(jobs, floodJob(o, label, class, rate, cluster.MediumPB, nil, false, horizon))
+			jobs = append(jobs, FloodJob(o, label, class, rate, cluster.MediumPB, nil, false, horizon))
 		}
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -197,14 +197,14 @@ type Fig12Result struct {
 // Fig12 runs the Figure 12 attacker against the firewalled, undefended
 // Medium-PB rack.
 func Fig12(o Options) (*Fig12Result, error) {
-	horizon := o.horizon(600)
-	cfg := baseConfig(o, "fig12", horizon)
+	horizon := o.Horizon(600)
+	cfg := BaseConfig(o, "fig12", horizon)
 	cfg.Firewall = firewall.DefaultConfig()
 	cfg.Cluster.Budget = cluster.MediumPB
 	d := attack.DefaultDopeConfig()
 	cfg.Dope = &d
 	cfg.DopeStart = 10
-	results, err := runJobs(o, []harness.Job{{Label: "fig12", Config: cfg}})
+	results, err := RunJobs(o, []harness.Job{{Label: "fig12", Config: cfg}})
 	if err != nil {
 		return nil, err
 	}

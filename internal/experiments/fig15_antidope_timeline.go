@@ -27,13 +27,13 @@ type Fig15Result struct {
 // Fig15 runs the switching DOPE attack at Medium-PB under Anti-DOPE and a
 // quiet Normal-PB baseline for reference.
 func Fig15(o Options) (*Fig15Result, error) {
-	horizon := o.horizon(600)
+	horizon := o.Horizon(600)
 	attackStart := 30.0
 
-	results, err := runJobs(o, []harness.Job{
-		evalJob(o, "fig15/quiet", schemeByName("none"), cluster.NormalPB, nil, horizon),
-		evalJob(o, "fig15/antidope", schemeByName("antidope"), cluster.MediumPB,
-			switchingAttackSpecs(attackStart, horizon, 120), horizon),
+	results, err := RunJobs(o, []harness.Job{
+		EvalJob(o, "fig15/quiet", SchemeByName("none"), cluster.NormalPB, nil, horizon),
+		EvalJob(o, "fig15/antidope", SchemeByName("antidope"), cluster.MediumPB,
+			SwitchingAttackSpecs(attackStart, horizon, 120), horizon),
 	})
 	if err != nil {
 		return nil, err

@@ -21,7 +21,7 @@ type EvalGrid struct {
 
 // RunEvalGrid executes the sweep once; the figure builders share it.
 func RunEvalGrid(o Options) (*EvalGrid, error) {
-	horizon := o.horizon(300)
+	horizon := o.Horizon(300)
 	grid := &EvalGrid{
 		Results:     make(map[string]map[cluster.BudgetLevel]*core.Result),
 		SchemeOrder: []string{"Capping", "Shaving", "Token", "Anti-DOPE"},
@@ -31,11 +31,11 @@ func RunEvalGrid(o Options) (*EvalGrid, error) {
 	for _, name := range grid.SchemeOrder {
 		for _, budget := range grid.Budgets {
 			label := fmt.Sprintf("eval/%s/%s", name, budget)
-			jobs = append(jobs, evalJob(o, label, schemeByName(name), budget,
-				evalAttackSpecs(10, horizon), horizon))
+			jobs = append(jobs, EvalJob(o, label, SchemeByName(name), budget,
+				EvalAttackSpecs(10, horizon), horizon))
 		}
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -32,8 +32,17 @@ type Fig18Result struct {
 // transients actually cross the tight budget), under the 2-minute-switching
 // DOPE attack, with the gap-sized mini UPS.
 func fig18Job(o Options, scheme defense.Scheme, horizon float64) harness.Job {
-	cfg := evalConfig(o, "fig18/"+scheme.Name(), scheme, cluster.LowPB,
-		switchingAttackSpecs(30, horizon, 120), horizon)
+	cfg := EvalConfig(o, "fig18/"+scheme.Name(), scheme, cluster.LowPB,
+		SwitchingAttackSpecs(30, horizon, 120), horizon)
+	cfg.ExtraSources = Fig18LegitSources()
+	return harness.Job{Label: "fig18/" + scheme.Name(), Config: cfg}
+}
+
+// Fig18LegitSources is the warm-pool legitimate mix of the battery study:
+// a heavy AliOS stream plus light victim-endpoint traffic, keeping the
+// innocent pool busy enough that attack-onset transients cross the tight
+// Low-PB budget. The scenario compiler's "fig18" workload mix reuses it.
+func Fig18LegitSources() []core.SourceSpec {
 	mk := func(class workload.Class, rps float64, n int, base workload.SourceID) core.SourceSpec {
 		return core.SourceSpec{
 			Source: workload.Source{
@@ -43,17 +52,16 @@ func fig18Job(o Options, scheme defense.Scheme, horizon float64) harness.Job {
 			RateCap: rps,
 		}
 	}
-	cfg.ExtraSources = []core.SourceSpec{
+	return []core.SourceSpec{
 		mk(workload.AliNormal, 220, 64, 0),
 		mk(workload.WordCount, 25, 16, 300),
 		mk(workload.TextCont, 10, 16, 400),
 	}
-	return harness.Job{Label: "fig18/" + scheme.Name(), Config: cfg}
 }
 
 // Fig18 runs the switching attack at Low-PB for every scheme.
 func Fig18(o Options) (*Fig18Result, error) {
-	horizon := o.horizon(600)
+	horizon := o.Horizon(600)
 	out := &Fig18Result{
 		SoC:               make(map[string]stats.Series),
 		MinSoC:            make(map[string]float64),
@@ -67,7 +75,7 @@ func Fig18(o Options) (*Fig18Result, error) {
 	names := []string{"Capping", "Shaving", "Token", "Anti-DOPE"}
 	var jobs []harness.Job
 	for _, name := range names {
-		scheme := schemeByName(name)
+		scheme := SchemeByName(name)
 		if ad, ok := scheme.(*defense.AntiDope); ok {
 			// The switching flood saturates more than one node's worth of
 			// work; the Figure 18 deployment dedicates half the rack to the
@@ -76,7 +84,7 @@ func Fig18(o Options) (*Fig18Result, error) {
 		}
 		jobs = append(jobs, fig18Job(o, scheme, horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,7 @@ type OutageResult struct {
 // Outage runs the steady DOPE injection at Medium-PB with the breaker
 // enabled for every scheme.
 func Outage(o Options) (*OutageResult, error) {
-	horizon := o.horizon(480)
+	horizon := o.Horizon(480)
 	out := &OutageResult{
 		Outages:  make(map[string]int),
 		Downtime: make(map[string]float64),
@@ -36,16 +36,16 @@ func Outage(o Options) (*OutageResult, error) {
 	}
 	var jobs []harness.Job
 	for _, name := range []string{"none", "capping", "shaving", "token", "anti-dope"} {
-		cfg := evalConfig(o, "outage/"+name, schemeByName(name), cluster.MediumPB,
-			evalAttackSpecs(10, horizon), horizon)
-		cfg.ExtraSources = evalLegitSources()
+		cfg := EvalConfig(o, "outage/"+name, SchemeByName(name), cluster.MediumPB,
+			EvalAttackSpecs(10, horizon), horizon)
+		cfg.ExtraSources = EvalLegitSources()
 		// Rating at exactly the provisioned feed: the utility contract is
 		// the budget, and the DOPE draw sits only ~6% above it — precisely
 		// the low-and-slow overload an inverse-time breaker integrates.
 		cfg.Breaker = core.BreakerCfg{Enabled: true, RatingFrac: 1.0, ToleranceSec: 20, RepairSec: 60}
 		jobs = append(jobs, harness.Job{Label: "outage/" + name, Config: cfg})
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

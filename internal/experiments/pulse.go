@@ -23,7 +23,7 @@ type PulseResult struct {
 
 // Pulse runs the yo-yo attack at Low-PB with the gap-sized UPS.
 func Pulse(o Options) (*PulseResult, error) {
-	horizon := o.horizon(480)
+	horizon := o.Horizon(480)
 	out := &PulseResult{
 		MinSoC:      make(map[string]float64),
 		Cycles:      make(map[string]int),
@@ -39,11 +39,11 @@ func Pulse(o Options) (*PulseResult, error) {
 	for _, name := range names {
 		// Each job gets its own pulse specs: configs must not share slices.
 		pulses := attack.Pulse(workload.CollaFilt, 90, 32, 20, horizon, 30, 30)
-		cfg := evalConfig(o, "pulse/"+name, schemeByName(name), cluster.LowPB, pulses, horizon)
-		cfg.ExtraSources = evalLegitSources()
+		cfg := EvalConfig(o, "pulse/"+name, SchemeByName(name), cluster.LowPB, pulses, horizon)
+		cfg.ExtraSources = EvalLegitSources()
 		jobs = append(jobs, harness.Job{Label: "pulse/" + name, Config: cfg})
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

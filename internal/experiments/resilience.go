@@ -31,7 +31,7 @@ type ResilienceResult struct {
 
 // Resilience runs the fault-intensity sweep.
 func Resilience(o Options) (*ResilienceResult, error) {
-	horizon := o.horizon(240)
+	horizon := o.Horizon(240)
 	intensities := []float64{0, 0.5, 1, 2}
 	if o.Quick {
 		intensities = []float64{0, 1, 2}
@@ -63,11 +63,11 @@ func Resilience(o Options) (*ResilienceResult, error) {
 	var jobs []harness.Job
 	for _, x := range intensities {
 		gen := base.Scaled(x)
-		gen.Seed = o.seedFor(fmt.Sprintf("resilience/faults/%.2f", x))
+		gen.Seed = o.SeedFor(fmt.Sprintf("resilience/faults/%.2f", x))
 		for _, name := range schemes {
 			label := fmt.Sprintf("resilience/%s/x%.2f", name, x)
-			job := evalJob(o, label, schemeByName(name), cluster.MediumPB,
-				evalAttackSpecs(10, horizon), horizon)
+			job := EvalJob(o, label, SchemeByName(name), cluster.MediumPB,
+				EvalAttackSpecs(10, horizon), horizon)
 			if x > 0 {
 				g := gen
 				job.Config.Faults = &faults.Config{Generator: &g}
@@ -75,7 +75,7 @@ func Resilience(o Options) (*ResilienceResult, error) {
 			jobs = append(jobs, job)
 		}
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

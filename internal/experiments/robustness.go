@@ -19,7 +19,7 @@ type RobustnessResult struct {
 
 // Robustness runs the paired comparison for each derived seed.
 func Robustness(o Options) (*RobustnessResult, error) {
-	horizon := o.horizon(240)
+	horizon := o.Horizon(240)
 	seeds := 5
 	if o.Quick {
 		seeds = 3
@@ -34,12 +34,12 @@ func Robustness(o Options) (*RobustnessResult, error) {
 		so := o
 		so.Seed = o.Seed + uint64(1000*(i+1))
 		jobs = append(jobs,
-			evalJob(so, fmt.Sprintf("robust/cap/%d", i), schemeByName("capping"),
-				cluster.MediumPB, evalAttackSpecs(10, horizon), horizon),
-			evalJob(so, fmt.Sprintf("robust/ad/%d", i), schemeByName("anti-dope"),
-				cluster.MediumPB, evalAttackSpecs(10, horizon), horizon))
+			EvalJob(so, fmt.Sprintf("robust/cap/%d", i), SchemeByName("capping"),
+				cluster.MediumPB, EvalAttackSpecs(10, horizon), horizon),
+			EvalJob(so, fmt.Sprintf("robust/ad/%d", i), SchemeByName("anti-dope"),
+				cluster.MediumPB, EvalAttackSpecs(10, horizon), horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -12,9 +12,9 @@ import (
 	"antidope/internal/workload"
 )
 
-// baseConfig is the shared scaled-down rack of Section 3: four 100 W
+// BaseConfig is the shared scaled-down rack of Section 3: four 100 W
 // nodes, least-loaded balancing, light legitimate background traffic.
-func baseConfig(o Options, label string, horizon float64) core.Config {
+func BaseConfig(o Options, label string, horizon float64) core.Config {
 	cfg := core.Config{
 		Cluster:               cluster.DefaultConfig(),
 		Firewall:              firewall.Config{Disabled: true},
@@ -26,17 +26,17 @@ func baseConfig(o Options, label string, horizon float64) core.Config {
 		WarmupSec:             5,
 		DopeEpochSec:          10,
 		DopeEffectiveSlowdown: 3,
-		Seed:                  o.seedFor(label),
+		Seed:                  o.SeedFor(label),
 	}
 	return cfg
 }
 
-// floodJob builds one victim-endpoint flood scenario as a harness job.
+// FloodJob builds one victim-endpoint flood scenario as a harness job.
 // The scheme must be a fresh instance per job: jobs run concurrently and
 // schemes are stateful.
-func floodJob(o Options, label string, class workload.Class, rate float64,
+func FloodJob(o Options, label string, class workload.Class, rate float64,
 	budget cluster.BudgetLevel, scheme defense.Scheme, fwOn bool, horizon float64) harness.Job {
-	cfg := baseConfig(o, label, horizon)
+	cfg := BaseConfig(o, label, horizon)
 	cfg.Cluster.Budget = budget
 	cfg.Scheme = scheme
 	if fwOn {
@@ -60,10 +60,10 @@ func floodJob(o Options, label string, class workload.Class, rate float64,
 	return harness.Job{Label: label, Config: cfg}
 }
 
-// mixedFloodJob floods all four victim endpoints in equal shares at the
+// MixedFloodJob floods all four victim endpoints in equal shares at the
 // given total rate, on the unprotected Normal-PB rack.
-func mixedFloodJob(o Options, label string, totalRate, horizon float64) harness.Job {
-	cfg := baseConfig(o, label, horizon)
+func MixedFloodJob(o Options, label string, totalRate, horizon float64) harness.Job {
+	cfg := BaseConfig(o, label, horizon)
 	perClass := totalRate / 4
 	agents := int(perClass / 100)
 	if agents < 4 {
@@ -86,8 +86,8 @@ func mixedFloodJob(o Options, label string, totalRate, horizon float64) harness.
 // ladder is the shared frequency ladder for scheme construction.
 func ladder() power.Ladder { return power.DefaultLadder() }
 
-// schemeByName builds a fresh scheme instance.
-func schemeByName(name string) defense.Scheme {
+// SchemeByName builds a fresh scheme instance.
+func SchemeByName(name string) defense.Scheme {
 	s, err := defense.ByName(name, ladder())
 	if err != nil {
 		panic(err)

@@ -29,9 +29,9 @@ type ScaleResult struct {
 // scaleJob builds the proportionally scaled scenario for n servers.
 func scaleJob(o Options, label string, n int, schemeName string, horizon float64) harness.Job {
 	k := float64(n) / 4
-	cfg := evalConfig(o, label, nil, cluster.MediumPB, nil, horizon)
+	cfg := EvalConfig(o, label, nil, cluster.MediumPB, nil, horizon)
 	if schemeName != "" {
-		cfg.Scheme = schemeByName(schemeName)
+		cfg.Scheme = SchemeByName(schemeName)
 	}
 	cfg.Cluster.Servers = n
 	mk := func(class workload.Class, rps float64, srcs int, base workload.SourceID) core.SourceSpec {
@@ -67,7 +67,7 @@ func scaleJob(o Options, label string, n int, schemeName string, horizon float64
 
 // Scale runs the sweep.
 func Scale(o Options) (*ScaleResult, error) {
-	horizon := o.horizon(240)
+	horizon := o.Horizon(240)
 	sizes := []int{4, 16, 32}
 	if o.Quick {
 		sizes = []int{4, 16}
@@ -93,7 +93,7 @@ func Scale(o Options) (*ScaleResult, error) {
 			scaleJob(o, fmt.Sprintf("scale/capping/%d", n), n, "capping", horizon),
 			scaleJob(o, fmt.Sprintf("scale/antidope/%d", n), n, "anti-dope", horizon))
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -46,19 +46,19 @@ func Thermal(o Options) (*ThermalResult, error) {
 	}
 	var jobs []harness.Job
 	for _, name := range []string{"none", "capping", "shaving", "anti-dope"} {
-		cfg := evalConfig(o, "thermal/"+name, schemeByName(name), cluster.NormalPB,
+		cfg := EvalConfig(o, "thermal/"+name, SchemeByName(name), cluster.NormalPB,
 			[]attack.Spec{
 				attack.HTTPLoadTool(workload.CollaFilt, 80, 32, 30, horizon-40),
 				attack.HTTPLoadTool(workload.KMeans, 40, 32, 30, horizon-40),
 			}, horizon)
-		cfg.ExtraSources = evalLegitSources()
+		cfg.ExtraSources = EvalLegitSources()
 		// Cooling provisioned for the aggressive (Low-PB) level even though
 		// the feed is at Normal — cooling plants are oversubscribed too, and
 		// more recirculation-prone than this rack's feed.
 		cfg.Thermal = thermal.Config{Enabled: true, CRACCapacityW: 320, RiseCPerW: 0.12}
 		jobs = append(jobs, harness.Job{Label: "thermal/" + name, Config: cfg})
 	}
-	results, err := runJobs(o, jobs)
+	results, err := RunJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+)
+
+// Marshal renders a (normalized) scenario in canonical YAML: fixed field
+// order, two-space indentation, floats in their shortest round-trip form,
+// strings bare whenever the subset allows and double-quoted otherwise,
+// zero-valued optional fields omitted. Marshal emits exactly the subset
+// yaml.go parses, so Parse(Marshal(Normalize(s))) reproduces Normalize(s)
+// and re-marshalling is byte-identical — the canonical-form fixed point the
+// round-trip tests and FuzzScenario pin.
+func Marshal(s *Scenario) []byte {
+	e := &emitter{}
+	e.field(0, "scenario", s.Name)
+	if s.Description != "" {
+		e.field(0, "description", s.Description)
+	}
+
+	e.key(0, "sim")
+	e.num(1, "horizon", s.Sim.Horizon)
+	e.num(1, "slot", s.Sim.Slot)
+	e.num(1, "warmup", s.Sim.Warmup)
+	e.num(1, "dope_epoch", s.Sim.DopeEpoch)
+	e.num(1, "dope_slowdown", s.Sim.DopeSlowdown)
+
+	e.key(0, "cluster")
+	if s.Cluster.Servers != 0 {
+		e.int(1, "servers", s.Cluster.Servers)
+	}
+	e.field(1, "budget", s.Cluster.Budget)
+	e.numOpt(1, "battery_autonomy_sec", s.Cluster.BatteryAutonomySec)
+	e.numOpt(1, "battery_sustain_frac", s.Cluster.BatterySustainFrac)
+
+	e.key(0, "workload")
+	e.numOpt(1, "normal_rps", s.Workload.NormalRPS)
+	if s.Workload.NormalSources != 0 {
+		e.int(1, "normal_sources", s.Workload.NormalSources)
+	}
+	e.field(1, "mix", s.Workload.Mix)
+
+	e.key(0, "defense")
+	e.field(1, "scheme", s.Defense.Scheme)
+	e.field(1, "firewall", s.Defense.Firewall)
+	e.field(1, "policy", s.Defense.Policy)
+	e.numOpt(1, "suspect_pool_frac", s.Defense.SuspectPoolFrac)
+
+	e.attack(0, &s.Attack)
+	e.faults(0, s.Faults)
+
+	if len(s.Runs) > 0 {
+		e.key(0, "runs")
+		for i := range s.Runs {
+			e.run(1, &s.Runs[i])
+		}
+	}
+
+	e.key(0, "assert")
+	e.num(1, "sla_ms", s.Assert.SLAms)
+	e.ptr(1, "min_availability", s.Assert.MinAvailability)
+	e.ptr(1, "max_mean_ms", s.Assert.MaxMeanMs)
+	e.ptr(1, "max_peak_over_w", s.Assert.MaxPeakOverW)
+	if len(s.Assert.Orders) > 0 {
+		e.key(1, "order")
+		for _, o := range s.Assert.Orders {
+			e.seqKey(2, "metric", o.Metric)
+			e.list(3, "runs", o.Runs)
+			if !o.Decreasing {
+				e.field(3, "decreasing", "false")
+			}
+		}
+	}
+	return e.b.Bytes()
+}
+
+// emitter accumulates canonical YAML lines. Indent levels are two spaces
+// each; a sequence item opens with "- " at its level and continues one
+// level deeper (the exact layout parseSequence's compact-mapping rewrite
+// re-reads).
+type emitter struct{ b bytes.Buffer }
+
+func (e *emitter) line(indent int, s string) {
+	e.b.WriteString(strings.Repeat("  ", indent))
+	e.b.WriteString(s)
+	e.b.WriteByte('\n')
+}
+
+func (e *emitter) key(indent int, k string) { e.line(indent, k+":") }
+
+func (e *emitter) field(indent int, k, v string) {
+	e.line(indent, k+": "+scalarString(v))
+}
+
+func (e *emitter) num(indent int, k string, v float64) {
+	e.line(indent, k+": "+formatNum(v))
+}
+
+// numOpt emits the field only when set (non-zero).
+func (e *emitter) numOpt(indent int, k string, v float64) {
+	//lint:allow floateq -- exact zero marks an unset config field
+	if v != 0 {
+		e.num(indent, k, v)
+	}
+}
+
+func (e *emitter) int(indent int, k string, v int) {
+	e.line(indent, k+": "+strconv.Itoa(v))
+}
+
+func (e *emitter) ptr(indent int, k string, v *float64) {
+	if v != nil {
+		e.num(indent, k, *v)
+	}
+}
+
+// seqKey opens a sequence item with its first field: "- key: value".
+func (e *emitter) seqKey(indent int, k, v string) {
+	e.line(indent, "- "+k+": "+scalarString(v))
+}
+
+// list emits a flow sequence of strings.
+func (e *emitter) list(indent int, k string, vs []string) {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = scalarString(v)
+	}
+	e.line(indent, k+": ["+strings.Join(parts, ", ")+"]")
+}
+
+func (e *emitter) attack(indent int, a *AttackSpec) {
+	if len(a.Floods) == 0 && a.Dope == nil && a.Switching == nil {
+		return
+	}
+	e.key(indent, "attack")
+	if len(a.Floods) > 0 {
+		e.key(indent+1, "floods")
+		for i := range a.Floods {
+			f := &a.Floods[i]
+			first := indent + 2
+			rest := indent + 3
+			if f.Name != "" {
+				e.seqKey(first, "name", f.Name)
+				e.field(rest, "layer", f.Layer)
+			} else {
+				e.seqKey(first, "layer", f.Layer)
+			}
+			e.field(rest, "class", f.Class)
+			e.numOpt(rest, "rate", f.Rate)
+			if f.Agents != 0 {
+				e.int(rest, "agents", f.Agents)
+			}
+			e.numOpt(rest, "start", f.Start)
+			e.numOpt(rest, "duration", f.Duration)
+		}
+	}
+	if a.Dope != nil {
+		d := a.Dope
+		e.key(indent+1, "dope")
+		e.numOpt(indent+2, "start", d.Start)
+		e.num(indent+2, "initial_rps", d.InitialRPS)
+		e.num(indent+2, "max_rps", d.MaxRPS)
+		e.num(indent+2, "growth", d.Growth)
+		e.num(indent+2, "backoff", d.Backoff)
+		e.numOpt(indent+2, "safety_margin", d.SafetyMargin)
+		e.int(indent+2, "agents", d.Agents)
+		e.int(indent+2, "max_agents", d.MaxAgents)
+		e.int(indent+2, "targets", d.Targets)
+	}
+	if a.Switching != nil {
+		e.key(indent+1, "switching")
+		e.numOpt(indent+2, "start", a.Switching.Start)
+		e.num(indent+2, "period", a.Switching.Period)
+	}
+}
+
+func (e *emitter) faults(indent int, f *FaultsSpec) {
+	if f == nil {
+		return
+	}
+	e.key(indent, "faults")
+	if len(f.Events) > 0 {
+		e.key(indent+1, "events")
+		for i := range f.Events {
+			ev := &f.Events[i]
+			e.seqKey(indent+2, "kind", ev.Kind)
+			e.numOpt(indent+3, "at", ev.At)
+			e.numOpt(indent+3, "duration", ev.Duration)
+			if ev.Server != -1 {
+				e.int(indent+3, "server", ev.Server)
+			}
+			e.numOpt(indent+3, "param", ev.Param)
+		}
+	}
+	if f.Generator != nil {
+		g := f.Generator
+		e.key(indent+1, "generator")
+		e.field(indent+2, "seed_label", g.SeedLabel)
+		e.num(indent+2, "intensity", g.Intensity)
+		e.numOpt(indent+2, "crashes", g.Crashes)
+		e.numOpt(indent+2, "telemetry", g.Telemetry)
+		e.numOpt(indent+2, "dvfs", g.DVFS)
+		e.numOpt(indent+2, "firewall_flaps", g.FirewallFlaps)
+		e.numOpt(indent+2, "battery", g.Battery)
+		e.numOpt(indent+2, "fade_to", g.FadeTo)
+		e.numOpt(indent+2, "mean_fault_sec", g.MeanFaultSec)
+	}
+}
+
+func (e *emitter) run(indent int, r *RunSpec) {
+	e.seqKey(indent, "name", r.Name)
+	rest := indent + 1
+	if r.Scheme != "" {
+		e.field(rest, "scheme", r.Scheme)
+	}
+	if r.Budget != "" {
+		e.field(rest, "budget", r.Budget)
+	}
+	if r.Firewall != "" {
+		e.field(rest, "firewall", r.Firewall)
+	}
+	e.ptr(rest, "rate", r.Rate)
+	if r.Attack != nil {
+		e.attack(rest, r.Attack)
+	}
+	if r.Faults != nil {
+		e.faults(rest, r.Faults)
+	}
+}
+
+// formatNum is the canonical float spelling: the shortest representation
+// that round-trips, which for whole numbers is the bare integer.
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// scalarString renders a string bare when the subset re-reads it verbatim,
+// double-quoted otherwise.
+func scalarString(s string) string {
+	if bareSafe(s) {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+// bareSafe reports whether the token survives a bare round trip: no
+// whitespace or comment/flow/quote syntax, nothing the line scanner could
+// mistake for structure.
+func bareSafe(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '/' || c == '=' || c == '@' || c == '+' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

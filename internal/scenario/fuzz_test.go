@@ -1,0 +1,120 @@
+package scenario_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"antidope/internal/experiments"
+	"antidope/internal/scenario"
+)
+
+// FuzzScenario drives arbitrary bytes through the whole DSL front end:
+//
+//   - Parse never panics, and every rejection is a structured *Error;
+//   - any accepted document normalizes to a canonical form that replays
+//     byte-identically from its own serialization (parse -> normalize ->
+//     marshal is a fixed point);
+//   - compilation from the canonical form is deterministic: the same
+//     document always yields the same run labels and seeds, or the same
+//     error.
+//
+// No simulation runs here — the target stays fast enough for the CI fuzz
+// smoke while still covering the parser, normalizer, emitter and compiler.
+func FuzzScenario(f *testing.F) {
+	// The checked-in library seeds the corpus with every feature in use.
+	entries, err := os.ReadDir("../../scenarios")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join("../../scenarios", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	// Hand-picked edges: minimal, JSON, matrix sugar, and near-miss inputs.
+	f.Add([]byte("scenario: t\nsim:\n  horizon: 60\n"))
+	f.Add([]byte(`{"scenario": "j", "sim": {"horizon": 60}}`))
+	f.Add([]byte("scenario: m\nsim:\n  horizon: 60\nmatrix:\n  schemes: [capping, token]\n  budgets: [low, high]\n"))
+	f.Add([]byte("scenario: d\nsim:\n  horizon: 60\nattack:\n  dope:\n    start: 10\n"))
+	f.Add([]byte("scenario: f\nsim:\n  horizon: 60\nfaults:\n  events:\n    - kind: server-crash\n      at: 5\n      duration: 3\n"))
+	f.Add([]byte("scenario: t\nsim:\n\thorizon: 60\n"))
+	f.Add([]byte("scenario: t\nsim:\n  horizon: 1e309\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("#"))
+	f.Add([]byte("{"))
+	f.Add([]byte("scenario: \"a\\t\"\nsim:\n  horizon: 60\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := scenario.Parse("fuzz.yaml", data)
+		if err != nil {
+			var se *scenario.Error
+			if !errors.As(err, &se) {
+				t.Fatalf("parse rejection is %T, want *scenario.Error: %v", err, err)
+			}
+			return
+		}
+		ns, err := scenario.Normalize(s)
+		if err != nil {
+			var se *scenario.Error
+			if !errors.As(err, &se) {
+				t.Fatalf("normalize rejection is %T, want *scenario.Error: %v", err, err)
+			}
+			return
+		}
+
+		// Canonical fixed point: the serialization must re-parse, and its
+		// normal form must re-serialize to the same bytes.
+		c1 := scenario.Marshal(ns)
+		s2, err := scenario.Parse("canon.yaml", c1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, c1)
+		}
+		ns2, err := scenario.Normalize(s2)
+		if err != nil {
+			t.Fatalf("canonical form does not re-normalize: %v\n%s", err, c1)
+		}
+		c2 := scenario.Marshal(ns2)
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical form is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", c1, c2)
+		}
+
+		// Compile determinism: same document, same plan (or same error).
+		opts := experiments.Options{Seed: 7, Quick: true}
+		p1, err1 := scenario.Compile(ns, opts)
+		p2, err2 := scenario.Compile(ns2, opts)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("compile determinism: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("compile errors differ: %q vs %q", err1, err2)
+			}
+			return
+		}
+		if fp1, fp2 := planFingerprint(p1), planFingerprint(p2); fp1 != fp2 {
+			t.Fatalf("plan fingerprints differ:\n%s\nvs\n%s", fp1, fp2)
+		}
+	})
+}
+
+// planFingerprint condenses a compiled plan to its identity-bearing parts.
+func planFingerprint(p *scenario.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon=%g\n", p.Horizon)
+	for i, j := range p.Jobs {
+		fmt.Fprintf(&b, "%s seed=%d scheme=%s budget=%v horizon=%g attacks=%d\n",
+			j.Label, j.Config.Seed, p.Metas[i].Scheme, j.Config.Cluster.Budget,
+			j.Config.Horizon, len(j.Config.Attacks))
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package scenario_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"antidope/internal/scenario"
+)
+
+// roundTrip parses, normalizes, and marshals a document, failing the test
+// on any error.
+func roundTrip(t *testing.T, file string, data []byte) []byte {
+	t.Helper()
+	s, err := scenario.Parse(file, data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ns, err := scenario.Normalize(s)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return scenario.Marshal(ns)
+}
+
+// TestRoundTripFixedPoint: parse -> normalize -> serialize -> parse is a
+// fixed point. The first canonical form must re-parse to byte-identical
+// canonical bytes, for every scenario in the checked-in library.
+func TestRoundTripFixedPoint(t *testing.T) {
+	entries, err := scenario.LoadDir(scenariosDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Scenario.Name, func(t *testing.T) {
+			raw, err := os.ReadFile(e.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c1 := roundTrip(t, "first", raw)
+			c2 := roundTrip(t, "second", c1)
+			if !bytes.Equal(c1, c2) {
+				t.Fatalf("canonical form is not a fixed point; first %s", firstDiff(c1, c2))
+			}
+			// Normalize must also be idempotent on the already-normal value.
+			ns, err := scenario.Normalize(e.Scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := scenario.Marshal(ns); !bytes.Equal(got, c1) {
+				t.Fatalf("re-normalizing a normal scenario changed it; first %s", firstDiff(c1, got))
+			}
+		})
+	}
+}
+
+// TestRoundTripJSON: a JSON document is accepted and lands on the same
+// canonical YAML as its YAML spelling.
+func TestRoundTripJSON(t *testing.T) {
+	yamlDoc := []byte(`scenario: jdemo
+sim:
+  horizon: 60
+attack:
+  floods:
+    - class: Colla-Filt
+      rate: 50
+assert:
+  sla_ms: 100
+`)
+	jsonDoc := []byte(`{
+  "scenario": "jdemo",
+  "sim": {"horizon": 60},
+  "attack": {"floods": [{"class": "Colla-Filt", "rate": 50}]},
+  "assert": {"sla_ms": 100}
+}`)
+	fromYAML := roundTrip(t, "y.yaml", yamlDoc)
+	fromJSON := roundTrip(t, "j.json", jsonDoc)
+	if !bytes.Equal(fromYAML, fromJSON) {
+		t.Fatalf("JSON and YAML spellings canonicalize differently; first %s",
+			firstDiff(fromYAML, fromJSON))
+	}
+	c2 := roundTrip(t, "again", fromJSON)
+	if !bytes.Equal(fromJSON, c2) {
+		t.Fatalf("JSON-sourced canonical form not a fixed point; first %s", firstDiff(fromJSON, c2))
+	}
+}
+
+// TestRoundTripDefaultsElided: fields explicitly set to their defaults
+// canonicalize identically to leaving them out — the canonical form is a
+// function of the normalized value, not the spelling.
+func TestRoundTripDefaultsElided(t *testing.T) {
+	terse := []byte("scenario: d\nsim:\n  horizon: 40\n")
+	verbose := []byte(`scenario: d
+sim:
+  horizon: 40
+  slot: 1
+  warmup: 5
+cluster:
+  budget: Normal-PB
+workload:
+  normal_rps: 60
+  normal_sources: 64
+  mix: none
+defense:
+  scheme: none
+  firewall: off
+  policy: least-loaded
+assert:
+  sla_ms: 250
+`)
+	a := roundTrip(t, "terse", terse)
+	b := roundTrip(t, "verbose", verbose)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("explicit defaults changed the canonical form; first %s", firstDiff(a, b))
+	}
+}

@@ -1,0 +1,172 @@
+package scenario_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/defense"
+	"antidope/internal/experiments"
+	"antidope/internal/faults"
+	"antidope/internal/firewall"
+	"antidope/internal/harness"
+	"antidope/internal/scenario"
+	"antidope/internal/workload"
+)
+
+// Twin equivalence: every checked-in scenario must produce a report
+// byte-identical to jobs hand-built the way the original experiments build
+// them — same seams (BaseConfig, FloodJob, EvalJob, SchemeByName), same
+// labels, and therefore same per-label seeds. The twin runs at a different
+// -parallel setting than the DSL run, so one comparison pins both compile
+// correctness and worker-count invariance.
+
+// twinJobs rebuilds a library scenario's job list by hand, mirroring the
+// corresponding internal/experiments code path.
+func twinJobs(t *testing.T, name string, o experiments.Options) []harness.Job {
+	t.Helper()
+	var jobs []harness.Job
+	switch name {
+	case "fig3":
+		horizon := o.Horizon(600)
+		for _, spec := range attack.Catalog() {
+			spec.Duration = horizon - 5
+			spec.Start = 5
+			cfg := experiments.BaseConfig(o, "fig3/"+spec.Name, horizon)
+			cfg.Attacks = []attack.Spec{spec}
+			jobs = append(jobs, harness.Job{Label: "fig3/" + spec.Name, Config: cfg})
+		}
+	case "fig7":
+		horizon := o.Horizon(240)
+		for _, rate := range []float64{0, 100, 400, 1000} {
+			label := fmt.Sprintf("fig7/%g", rate)
+			jobs = append(jobs, experiments.FloodJob(o, label, workload.CollaFilt, rate,
+				cluster.LowPB, experiments.SchemeByName("capping"), false, horizon))
+		}
+	case "fig10":
+		horizon := o.Horizon(300)
+		for _, class := range workload.VictimClasses() {
+			for _, fwOn := range []bool{false, true} {
+				label := fmt.Sprintf("fig10/%v/fw=%v", class, fwOn)
+				cfg := experiments.BaseConfig(o, label, horizon)
+				if fwOn {
+					cfg.Firewall = firewall.DefaultConfig()
+				}
+				cfg.Attacks = []attack.Spec{{
+					Name: label, Layer: attack.ApplicationLayer, Class: class,
+					RateRPS: 1000, Agents: 4, Start: cfg.WarmupSec,
+					Duration: horizon - cfg.WarmupSec,
+				}}
+				jobs = append(jobs, harness.Job{Label: label, Config: cfg})
+			}
+		}
+	case "fig12":
+		horizon := o.Horizon(600)
+		cfg := experiments.BaseConfig(o, "fig12", horizon)
+		cfg.Firewall = firewall.DefaultConfig()
+		cfg.Cluster.Budget = cluster.MediumPB
+		d := attack.DefaultDopeConfig()
+		cfg.Dope = &d
+		cfg.DopeStart = 10
+		jobs = append(jobs, harness.Job{Label: "fig12", Config: cfg})
+	case "eval":
+		horizon := o.Horizon(300)
+		for _, schemeName := range []string{"Capping", "Shaving", "Token", "Anti-DOPE"} {
+			for _, budget := range cluster.AllBudgetLevels() {
+				label := fmt.Sprintf("eval/%s/%s", schemeName, budget)
+				jobs = append(jobs, experiments.EvalJob(o, label,
+					experiments.SchemeByName(schemeName), budget,
+					experiments.EvalAttackSpecs(10, horizon), horizon))
+			}
+		}
+	case "fig18":
+		horizon := o.Horizon(600)
+		for _, schemeName := range []string{"Capping", "Shaving", "Token", "Anti-DOPE"} {
+			scheme := experiments.SchemeByName(schemeName)
+			if ad, ok := scheme.(*defense.AntiDope); ok {
+				ad.SuspectPoolFrac = 0.5
+			}
+			label := "fig18/" + scheme.Name()
+			cfg := experiments.EvalConfig(o, label, scheme, cluster.LowPB,
+				experiments.SwitchingAttackSpecs(30, horizon, 120), horizon)
+			cfg.ExtraSources = experiments.Fig18LegitSources()
+			jobs = append(jobs, harness.Job{Label: label, Config: cfg})
+		}
+	case "resilience":
+		horizon := o.Horizon(240)
+		base := faults.GeneratorConfig{
+			Horizon:         horizon,
+			Servers:         cluster.DefaultConfig().Servers,
+			Crashes:         2,
+			TelemetryFaults: 3,
+			DVFSFaults:      2,
+			FirewallFlaps:   1,
+			BatteryFaults:   1,
+			MeanFaultSec:    15,
+		}
+		base.Seed = o.SeedFor("resilience/faults/1.00")
+		for _, schemeName := range []string{"capping", "shaving", "token", "anti-dope"} {
+			label := fmt.Sprintf("resilience/%s/x1.00", schemeName)
+			job := experiments.EvalJob(o, label, experiments.SchemeByName(schemeName),
+				cluster.MediumPB, experiments.EvalAttackSpecs(10, horizon), horizon)
+			g := base
+			job.Config.Faults = &faults.Config{Generator: &g}
+			jobs = append(jobs, job)
+		}
+	default:
+		t.Fatalf("no hand-written twin for scenario %q", name)
+	}
+	return jobs
+}
+
+func TestTwinEquivalence(t *testing.T) {
+	entries, err := scenario.LoadDir(scenariosDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(filepath.Base(e.Path), func(t *testing.T) {
+			t.Parallel()
+			dslOpts := quickOptions(0)
+			plan, err := scenario.Compile(e.Scenario, dslOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The twin runs at a deliberately different worker count: the
+			// cheap single-run scenarios sequentially, the sweeps at a fixed
+			// fan-out. Identical bytes across the settings is the guarantee.
+			twinOpts := quickOptions(8)
+			if len(plan.Jobs) <= 4 {
+				twinOpts = quickOptions(1)
+			}
+			twins := twinJobs(t, e.Scenario.Name, twinOpts)
+			if len(twins) != len(plan.Jobs) {
+				t.Fatalf("twin builds %d jobs, DSL compiled %d", len(twins), len(plan.Jobs))
+			}
+			for i := range twins {
+				if twins[i].Label != plan.Jobs[i].Label {
+					t.Fatalf("job %d label: twin %q, DSL %q", i, twins[i].Label, plan.Jobs[i].Label)
+				}
+			}
+			dslResults, err := experiments.RunJobs(dslOpts, plan.Jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twinResults, err := experiments.RunJobs(twinOpts, twins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dslOut, twinOut bytes.Buffer
+			scenario.Report(plan, dslResults).Fprint(&dslOut)
+			scenario.Report(plan, twinResults).Fprint(&twinOut)
+			if !bytes.Equal(dslOut.Bytes(), twinOut.Bytes()) {
+				t.Fatalf("DSL and hand-written twin reports differ; first %s",
+					firstDiff(twinOut.Bytes(), dslOut.Bytes()))
+			}
+		})
+	}
+}
