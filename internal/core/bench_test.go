@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"testing"
+
+	"antidope/internal/core"
+)
+
+// BenchmarkSnapshotFork measures materializing one independent simulation
+// from a warmed end-of-warmup snapshot — the amortized setup cost a sweep
+// point pays when it forks instead of replaying the warmup. The snapshot is
+// taken once outside the timed loop; each iteration is one full Fork (deep
+// state clones plus event-chain re-arming).
+func BenchmarkSnapshotFork(b *testing.B) {
+	cfg := forkConfig()
+	parent, err := core.New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	parent.Start()
+	parent.RunTo(cfg.WarmupSec)
+	snap, err := parent.Snapshot()
+	if err != nil {
+		b.Fatalf("Snapshot: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim := snap.Fork(); sim == nil {
+			b.Fatal("nil fork")
+		}
+	}
+}

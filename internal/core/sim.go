@@ -44,7 +44,10 @@ type Simulation struct {
 	epochBanned map[workload.SourceID]bool
 	epochSlow   stats.Summary
 
-	breaker     *cluster.Breaker
+	breaker *cluster.Breaker
+	// resetEv is the handle of the pending breaker-reset event during an
+	// outage; Snapshot reads its time and sequence to re-arm it on a fork.
+	resetEv     simtime.Event
 	outageUntil float64
 	plant       *thermal.Plant
 	thermalHot  int // slots with any server thermally throttled
@@ -61,7 +64,18 @@ type Simulation struct {
 	// fresh closure (see DESIGN.md "Performance model").
 	mixFn   func(now float64)
 	mixNext *workload.Request
-	dopeFn  func(now float64)
+	// mixAt is the scheduled time of the outstanding mix arrival (valid
+	// while mixNext != nil); Snapshot uses it to re-arm the chain on a fork.
+	mixAt  float64
+	dopeFn func(now float64)
+	// dopeAt/dopePending mirror mixAt for the adaptive attacker's one
+	// outstanding arrival event.
+	dopeAt      float64
+	dopePending bool
+	// dopeTicker/ctrlTicker are the run's periodic chains, retained so
+	// Snapshot can read their next fire times.
+	dopeTicker *simtime.Ticker
+	ctrlTicker *simtime.Ticker
 	// compFns[i]/compEvs[i] belong to cl.Servers[i] (server ID == index):
 	// the bound completion callback and the handle of the one live
 	// completion event; superseded events are cancelled, not left to rot.
@@ -79,31 +93,58 @@ type Simulation struct {
 
 // New validates the configuration and assembles a simulation.
 func New(cfg Config) (*Simulation, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &Simulation{}
+	if err := s.init(cfg); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// Reset rebuilds the simulation in place for a fresh run of cfg, recycling
+// the two warm arenas a run accumulates — the engine's event pool and the
+// factory's request pool — instead of reallocating them. A reset simulation
+// is result-identical to New(cfg): pop order depends only on (at, seq) and
+// the arenas affect only where structs live, never what they contain.
+// Everything else (cluster, balancer, schemes, RNG streams) is rebuilt from
+// cfg exactly as New would.
+func (s *Simulation) Reset(cfg Config) error {
+	eng, factory := s.eng, s.factory
+	if eng != nil {
+		eng.Reset()
+	}
+	*s = Simulation{eng: eng, factory: factory}
+	return s.init(cfg)
+}
+
+// init assembles the simulation from cfg into s. It is New's body, shared
+// with Reset: a nil s.eng / s.factory is created fresh, a surviving one is
+// recycled with its warm pool intact.
+func (s *Simulation) init(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	cfg.Breaker = cfg.Breaker.Defaults()
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bal, err := netlb.New(cl.Servers, cfg.Policy)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	scheme := cfg.Scheme
 	if scheme == nil {
 		scheme = defense.NewNone()
 	}
-	s := &Simulation{
-		cfg:    cfg,
-		eng:    simtime.NewEngine(),
-		cl:     cl,
-		bal:    bal,
-		fw:     firewall.New(cfg.Firewall),
-		scheme: scheme,
-		rnd:    rng.New(cfg.Seed),
+	s.cfg = cfg
+	if s.eng == nil {
+		s.eng = simtime.NewEngine()
 	}
+	s.cl = cl
+	s.bal = bal
+	s.fw = firewall.New(cfg.Firewall)
+	s.scheme = scheme
+	s.rnd = rng.New(cfg.Seed)
 	s.env = &defense.Env{
 		Cluster:  cl,
 		Balancer: bal,
@@ -118,7 +159,7 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		br, err := cluster.NewBreaker(rating, overload, cfg.Breaker.ToleranceSec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.breaker = br
 	}
@@ -130,7 +171,7 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		plant, err := thermal.NewPlant(tcfg, len(cl.Servers))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.plant = plant
 	}
@@ -152,7 +193,11 @@ func New(cfg Config) (*Simulation, error) {
 			s.flt.sensor.SetObserver(s.obs)
 		}
 	}
-	s.factory = workload.NewFactory(s.rnd.Split("factory"))
+	if s.factory == nil {
+		s.factory = workload.NewFactory(s.rnd.Split("factory"))
+	} else {
+		s.factory.Reset(s.rnd.Split("factory"))
+	}
 	s.res = &Result{
 		SchemeName:           scheme.Name(),
 		BudgetW:              cl.BudgetW,
@@ -173,7 +218,7 @@ func New(cfg Config) (*Simulation, error) {
 		s.epochBanned = make(map[workload.SourceID]bool)
 	}
 	s.bindCallbacks()
-	return s, nil
+	return nil
 }
 
 // bindCallbacks builds the reusable event callbacks once per run. Every
@@ -257,8 +302,19 @@ func (s *Simulation) buildTraffic() {
 }
 
 // Run executes the simulation to the horizon and returns the measurements.
-// A Simulation is single-use; Run must be called exactly once.
+// A Simulation is single-use between resets; Run must be called exactly once
+// per New or Reset. Run is Start + RunTo(horizon) + Finish; callers that
+// want to pause mid-run (e.g. to Snapshot at end-of-warmup) call the three
+// phases themselves.
 func (s *Simulation) Run() *Result {
+	s.Start()
+	s.RunTo(s.cfg.Horizon)
+	return s.Finish()
+}
+
+// Start arms every event chain — faults, arrivals, the adaptive attacker,
+// the control loop — and takes the t=0 sample. Call once, before RunTo.
+func (s *Simulation) Start() {
 	// A resettable observer (obs.Bus) starts the run clean: the harness
 	// reuses the same observer across retry attempts of one job, and only
 	// the final attempt's trace should survive.
@@ -278,14 +334,29 @@ func (s *Simulation) Run() *Result {
 	// Adaptive attacker: arrival chain plus feedback epochs.
 	if s.dope != nil {
 		s.scheduleDopeArrival(s.cfg.DopeStart)
-		s.eng.Tick(s.cfg.DopeStart+s.cfg.DopeEpochSec, s.cfg.DopeEpochSec, s.dopeEpoch)
+		s.dopeTicker = s.eng.Tick(s.cfg.DopeStart+s.cfg.DopeEpochSec, s.cfg.DopeEpochSec, s.dopeEpoch)
 	}
 	// Power-control loop.
-	s.eng.Tick(s.cfg.SlotSec, s.cfg.SlotSec, s.controlTick)
+	s.ctrlTicker = s.eng.Tick(s.cfg.SlotSec, s.cfg.SlotSec, s.controlTick)
 	// Initial sample at t=0 so series start at the origin.
 	s.sample(0)
+}
 
-	s.eng.RunUntil(s.cfg.Horizon)
+// RunTo drains events batch-by-batch until the clock reaches t. Events
+// sharing one bit-identical timestamp are handed to the engine's DrainAt in
+// a single call; the firing order is exactly what a Step loop would produce.
+// RunTo may be called repeatedly with increasing t.
+func (s *Simulation) RunTo(t float64) {
+	for {
+		n, _ := s.eng.DrainAt(t)
+		if n == 0 {
+			break
+		}
+	}
+}
+
+// Finish closes the books at the horizon and returns the measurements.
+func (s *Simulation) Finish() *Result {
 	s.finish()
 	return s.res
 }
@@ -300,6 +371,7 @@ func (s *Simulation) pumpMix() {
 		return
 	}
 	s.mixNext = a.Req
+	s.mixAt = a.At
 	s.eng.Schedule(a.At, s.mixFn)
 }
 
@@ -307,6 +379,7 @@ func (s *Simulation) pumpMix() {
 // current plan's rate; rate changes apply from the next arrival on. Like
 // the mix pump, the chain has one outstanding event and reuses s.dopeFn.
 func (s *Simulation) scheduleDopeArrival(after float64) {
+	s.dopePending = false
 	rate := s.dopePlan.RPS
 	if rate <= 0 {
 		return
@@ -315,6 +388,8 @@ func (s *Simulation) scheduleDopeArrival(after float64) {
 	if at >= s.cfg.Horizon {
 		return
 	}
+	s.dopeAt = at
+	s.dopePending = true
 	s.eng.Schedule(at, s.dopeFn)
 }
 
@@ -366,12 +441,13 @@ func (s *Simulation) handleArrival(now float64, req *workload.Request) {
 	// A firewall outage fails open: every source passes unexamined.
 	if s.flt == nil || !s.flt.firewallDown(now) {
 		if verdict := s.fw.Observe(now, req); verdict != firewall.Allowed {
-			s.recordDrop(req, measured)
 			// Rate-limit drops are silent shaping; only bans are the signal the
-			// adaptive attacker reacts to.
+			// adaptive attacker reacts to. Book the ban before the drop funnel
+			// retires the request to the arena.
 			if verdict == firewall.Banned && s.dope != nil && req.Source >= dopeSourceBase {
 				s.epochBanned[req.Source] = true
 			}
+			s.recordDrop(req, measured)
 			return
 		}
 	}
@@ -540,7 +616,7 @@ func (s *Simulation) trip(now float64) {
 		}
 	}
 	if until < s.cfg.Horizon {
-		s.eng.Schedule(until, func(t float64) {
+		s.resetEv = s.eng.Schedule(until, func(t float64) {
 			s.breaker.Reset()
 			if s.obs != nil {
 				s.obs.Emit(obs.Event{T: t, Kind: obs.KindBreakerReset, Server: -1})
@@ -588,6 +664,10 @@ func (s *Simulation) sample(now float64) {
 func (s *Simulation) recordCompletion(req *workload.Request) {
 	rt := req.ResponseTime()
 	if req.ArriveAt < s.cfg.WarmupSec {
+		// Pre-warmup completions are unmeasured but still retire the struct:
+		// the funnels are the request's last readers, so it goes back to the
+		// factory arena for reuse either way.
+		s.factory.Free(req)
 		return
 	}
 	if req.Origin == workload.Legit {
@@ -606,6 +686,7 @@ func (s *Simulation) recordCompletion(req *workload.Request) {
 		s.res.LatencyByClass[req.Class] = byClass
 	}
 	byClass.Add(rt)
+	s.factory.Free(req)
 }
 
 func (s *Simulation) recordDrop(req *workload.Request, measured bool) {
@@ -624,6 +705,7 @@ func (s *Simulation) recordDrop(req *workload.Request, measured bool) {
 		})
 	}
 	if !measured {
+		s.factory.Free(req)
 		return
 	}
 	s.res.DroppedByReason[reason]++
@@ -633,6 +715,7 @@ func (s *Simulation) recordDrop(req *workload.Request, measured bool) {
 	} else {
 		s.res.DroppedAttack++
 	}
+	s.factory.Free(req)
 }
 
 // finish advances everything to the horizon and assembles the result.

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"antidope/internal/attack"
+	"antidope/internal/cluster"
+	"antidope/internal/defense"
+	"antidope/internal/firewall"
+	"antidope/internal/netlb"
+	"antidope/internal/rng"
+	"antidope/internal/simtime"
+	"antidope/internal/stats"
+	"antidope/internal/thermal"
+	"antidope/internal/workload"
+)
+
+// chainKind identifies one of the grid-aligned recurring chains whose
+// same-instant firing order matters: control ticks, attacker epochs, and the
+// breaker-reset event all live on (or can coincide with) the slot grid, so a
+// fork must reproduce their relative sequence order exactly. Continuous-time
+// chains (arrivals, completions) carry RNG-drawn timestamps and never
+// coincide bit-identically with the grid.
+type chainKind int
+
+const (
+	chainDopeTick chainKind = iota
+	chainCtrlTick
+	chainBreakerReset
+)
+
+// gridChain is one pending grid-aligned chain event: when it fires and the
+// engine sequence number it held in the parent, the tie-break key for
+// same-instant events.
+type gridChain struct {
+	kind chainKind
+	at   float64
+	seq  uint64
+}
+
+// compSnap is one server's pending completion event.
+type compSnap struct {
+	at      float64
+	pending bool
+}
+
+// Snapshot is a copy-on-write image of a simulation mid-run, typically taken
+// at end-of-warmup. It owns deep clones of every piece of mutable state —
+// component state, RNG stream positions, the measurement ledger — plus the
+// small metadata needed to rebuild the pending event chains on a fresh
+// engine. Fork materializes an independent simulation from it; a snapshot can
+// be forked any number of times, and every fork continues bit-identically to
+// how the parent would have run from the capture instant.
+//
+// Immutable structure is shared across all forks rather than copied: the
+// power table, the normalized fault schedule, traffic source specs (their
+// rate functions are pure), and the attacker's target rotation.
+type Snapshot struct {
+	cfg Config
+	at  float64
+
+	rnd     *rng.Stream
+	dopeRnd *rng.Stream
+	factory *workload.Factory
+	mix     *workload.Mix
+	scheme  defense.Scheme
+
+	cl      *cluster.Cluster
+	bal     *netlb.Balancer
+	fw      *firewall.Firewall
+	breaker *cluster.Breaker
+	plant   *thermal.Plant
+	flt     *faultRuntime
+
+	dope        *attack.DopeAttacker
+	dopePlan    attack.Plan
+	epochBanned map[workload.SourceID]bool
+	epochSlow   stats.Summary
+
+	outageUntil float64
+	thermalHot  int
+	prevRep     defense.SlotReport
+	lastEnergyJ float64
+	lastTick    float64
+	slots       int
+	slotsOver   int
+
+	res *Result
+
+	// Pending event-chain metadata. The engine's queue itself is not copied:
+	// each chain is re-armed from these few scalars, which is what makes the
+	// snapshot cheap — O(state), not O(queue history).
+	mixPending  bool
+	mixAt       float64
+	mixNext     workload.Request // valid when mixPending; value copy
+	dopePending bool
+	dopeAt      float64
+	grid        []gridChain
+	comps       []compSnap
+}
+
+// At returns the simulated instant the snapshot was captured at.
+func (snap *Snapshot) At() float64 { return snap.at }
+
+// Snapshot captures the simulation's complete mid-run state for later
+// forking. Call it between Start and Finish, immediately after a RunTo — the
+// engine must hold no pending event at or before the current instant (RunTo
+// guarantees that), or the fork would silently skip it.
+//
+// Two preconditions are checked: the run must be unobserved (an observer is
+// a shared external sink; a fork emitting into its parent's trace would
+// corrupt it), and the scheme must implement defense.Cloner. The live
+// simulation is not disturbed and continues normally afterwards.
+func (s *Simulation) Snapshot() (*Snapshot, error) {
+	if s.obs != nil {
+		return nil, fmt.Errorf("core: cannot snapshot an observed run; attach observers to forks' parents only")
+	}
+	cloner, ok := s.scheme.(defense.Cloner)
+	if !ok {
+		return nil, fmt.Errorf("core: scheme %s does not implement defense.Cloner", s.scheme.Name())
+	}
+	if s.ctrlTicker == nil {
+		return nil, fmt.Errorf("core: snapshot before Start")
+	}
+
+	snap := &Snapshot{
+		cfg: s.cfg,
+		at:  s.eng.Now(),
+
+		rnd:     s.rnd.Clone(),
+		factory: s.factory.Clone(),
+		scheme:  cloner.CloneScheme(),
+
+		cl:      s.cl.Clone(),
+		fw:      s.fw.Clone(),
+		breaker: s.breaker.Clone(),
+		flt:     nil,
+
+		dopePlan:  s.dopePlan,
+		epochSlow: s.epochSlow,
+
+		outageUntil: s.outageUntil,
+		thermalHot:  s.thermalHot,
+		prevRep:     s.prevRep,
+		lastEnergyJ: s.lastEnergyJ,
+		lastTick:    s.lastTick,
+		slots:       s.slots,
+		slotsOver:   s.slotsOver,
+
+		res: s.res.Clone(),
+	}
+	// The config's scheme and observer slots must not leak live references
+	// out of the parent: the snapshot's own clone stands in for the scheme.
+	snap.cfg.Scheme = snap.scheme
+	snap.cfg.Observer = nil
+	// The balancer clone must index the cloned servers, not the parent's.
+	snap.bal = s.bal.Clone(snap.cl.Servers)
+	if s.plant != nil {
+		snap.plant = s.plant.Clone()
+	}
+	if s.flt != nil {
+		snap.flt = s.flt.clone()
+	}
+	if s.mix != nil {
+		snap.mix = s.mix.Clone(snap.factory)
+	}
+	if s.dope != nil {
+		snap.dope = s.dope.Clone()
+		snap.dopeRnd = s.dopeRnd.Clone()
+		snap.epochBanned = make(map[workload.SourceID]bool, len(s.epochBanned))
+		for k, v := range s.epochBanned {
+			snap.epochBanned[k] = v
+		}
+	}
+
+	// Pending chains. The mix/dope arrival events carry continuous
+	// (RNG-drawn) timestamps; the grid chains additionally record their
+	// engine sequence numbers so Fork can reproduce same-instant ordering.
+	if s.mixNext != nil {
+		snap.mixPending = true
+		snap.mixAt = s.mixAt
+		snap.mixNext = *s.mixNext
+	}
+	if s.dopePending {
+		snap.dopePending = true
+		snap.dopeAt = s.dopeAt
+	}
+	if s.dopeTicker != nil {
+		if ev := s.dopeTicker.NextEvent(); ev.Pending() {
+			snap.grid = append(snap.grid, gridChain{kind: chainDopeTick, at: ev.At(), seq: ev.Seq()})
+		}
+	}
+	if ev := s.ctrlTicker.NextEvent(); ev.Pending() {
+		snap.grid = append(snap.grid, gridChain{kind: chainCtrlTick, at: ev.At(), seq: ev.Seq()})
+	}
+	if s.resetEv.Pending() {
+		snap.grid = append(snap.grid, gridChain{kind: chainBreakerReset, at: s.resetEv.At(), seq: s.resetEv.Seq()})
+	}
+	snap.comps = make([]compSnap, len(s.compEvs))
+	for i, ev := range s.compEvs {
+		if ev.Pending() {
+			snap.comps[i] = compSnap{at: ev.At(), pending: true}
+		}
+	}
+	return snap, nil
+}
+
+// Fork materializes an independent simulation from the snapshot, positioned
+// at the capture instant and ready for RunTo + Finish. Every fork clones the
+// snapshot's state again, so forks are independent of each other and the
+// snapshot remains reusable.
+//
+// Determinism: a fork is bit-identical to the parent continuing from the
+// capture instant. Component state (including RNG stream positions — see
+// DESIGN.md §7) is deep-cloned; the pending event chains are re-armed on a
+// fresh engine in an order that reproduces the parent's same-instant firing
+// order: fault events first (they were armed at Start and hold the oldest
+// sequence numbers), then the grid-aligned chains in their recorded sequence
+// order, then the continuous-time chains whose timestamps never coincide.
+func (snap *Snapshot) Fork() *Simulation {
+	s := &Simulation{
+		cfg: snap.cfg,
+		eng: simtime.NewEngine(),
+
+		rnd:     snap.rnd.Clone(),
+		factory: snap.factory.Clone(),
+		scheme:  snap.scheme.(defense.Cloner).CloneScheme(),
+
+		cl:      snap.cl.Clone(),
+		fw:      snap.fw.Clone(),
+		breaker: snap.breaker.Clone(),
+
+		dopePlan:  snap.dopePlan,
+		epochSlow: snap.epochSlow,
+
+		outageUntil: snap.outageUntil,
+		thermalHot:  snap.thermalHot,
+		prevRep:     snap.prevRep,
+		lastEnergyJ: snap.lastEnergyJ,
+		lastTick:    snap.lastTick,
+		slots:       snap.slots,
+		slotsOver:   snap.slotsOver,
+
+		res: snap.res.Clone(),
+	}
+	s.cfg.Scheme = s.scheme
+	s.bal = snap.bal.Clone(s.cl.Servers)
+	if snap.plant != nil {
+		s.plant = snap.plant.Clone()
+	}
+	if snap.flt != nil {
+		s.flt = snap.flt.clone()
+	}
+	if snap.mix != nil {
+		s.mix = snap.mix.Clone(s.factory)
+	}
+	if snap.dope != nil {
+		s.dope = snap.dope.Clone()
+		s.dopeRnd = snap.dopeRnd.Clone()
+		s.epochBanned = make(map[workload.SourceID]bool, len(snap.epochBanned))
+		for k, v := range snap.epochBanned {
+			s.epochBanned[k] = v
+		}
+	}
+	s.env = &defense.Env{
+		Cluster:  s.cl,
+		Balancer: s.bal,
+		SlotSec:  s.cfg.SlotSec,
+		Model:    s.cfg.Cluster.Model,
+	}
+	if s.flt != nil {
+		s.env.Telemetry = s.flt.sensor
+	}
+	s.bindCallbacks()
+
+	// Clock to the capture instant before arming anything: an empty-queue
+	// drain clamps the clock without firing, and every re-armed event is
+	// strictly later.
+	s.eng.DrainAt(snap.at)
+
+	// Fault events were armed at Start in the parent and hold the oldest
+	// sequence numbers of any pending event; re-arm their survivors first, in
+	// the original arming order.
+	if s.flt != nil {
+		s.flt.armFrom(s, snap.at)
+	}
+	// Grid-aligned chains next, in the parent's sequence order.
+	grid := append([]gridChain(nil), snap.grid...)
+	sort.Slice(grid, func(i, j int) bool { return grid[i].seq < grid[j].seq })
+	for _, g := range grid {
+		switch g.kind {
+		case chainDopeTick:
+			s.dopeTicker = s.eng.Tick(g.at, s.cfg.DopeEpochSec, s.dopeEpoch)
+		case chainCtrlTick:
+			s.ctrlTicker = s.eng.Tick(g.at, s.cfg.SlotSec, s.controlTick)
+		case chainBreakerReset:
+			s.resetEv = s.eng.Schedule(g.at, func(float64) { s.breaker.Reset() })
+		}
+	}
+	// Continuous-time chains: the merged-mix arrival, the attacker's next
+	// arrival, and the per-server completions. Their timestamps are RNG
+	// draws, so relative order against the grid never matters.
+	if snap.mixPending {
+		req := snap.mixNext
+		s.mixNext = &req
+		s.mixAt = snap.mixAt
+		s.eng.Schedule(snap.mixAt, s.mixFn)
+	}
+	if snap.dopePending {
+		s.dopeAt = snap.dopeAt
+		s.dopePending = true
+		s.eng.Schedule(snap.dopeAt, s.dopeFn)
+	}
+	for i, c := range snap.comps {
+		if c.pending {
+			s.compEvs[i] = s.eng.Schedule(c.at, s.compFns[i])
+		}
+	}
+	return s
+}

@@ -1,0 +1,258 @@
+package core_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"antidope/internal/attack"
+	"antidope/internal/core"
+	"antidope/internal/defense"
+	"antidope/internal/faults"
+	"antidope/internal/obs"
+	"antidope/internal/power"
+	"antidope/internal/report"
+	"antidope/internal/workload"
+)
+
+// forkConfig is the snapshot acceptance scenario: every subsystem whose
+// mid-run state a fork must carry is switched on — the adaptive defense, a
+// static flood, the adaptive attacker, breaker and thermal planes, and a
+// scripted fault plan whose windows straddle the capture instants the tests
+// use (so cursors are captured mid-window, not at rest).
+func forkConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = 90
+	cfg.WarmupSec = 5
+	cfg.Seed = 0xF02C
+	cfg.Scheme = defense.NewAntiDope(power.DefaultLadder())
+	cfg.NormalRPS = 90
+	cfg.Attacks = []attack.Spec{{
+		Name:     "flood",
+		Layer:    attack.ApplicationLayer,
+		Class:    workload.VictimClasses()[0],
+		RateRPS:  450,
+		Agents:   16,
+		Start:    15,
+		Duration: 45,
+	}}
+	dope := attack.DefaultDopeConfig()
+	dope.MaxRPS = 800
+	cfg.Dope = &dope
+	cfg.DopeStart = 10
+	cfg.Breaker = core.BreakerCfg{Enabled: true, ToleranceSec: 5, RepairSec: 10}
+	cfg.Thermal.Enabled = true
+	cfg.Faults = &faults.Config{
+		Events: []faults.Event{
+			{Kind: faults.ServerCrash, At: 20, Duration: 25, Server: 1},
+			{Kind: faults.TelemetryDropout, At: 30, Duration: 20},
+			{Kind: faults.DVFSDelay, At: 15, Duration: 40, Server: faults.AllServers, Param: 3},
+			{Kind: faults.FirewallDown, At: 35, Duration: 10},
+		},
+	}
+	return cfg
+}
+
+// serializeResult reduces a result to the same byte stream the determinism
+// suite pins: the full JSON report plus the human-readable footer.
+func serializeResult(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := report.JSON(&buf, res, 200); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	res.Fprint(&buf)
+	return buf.Bytes()
+}
+
+// diffByte reports the first index at which two serializations diverge.
+func diffByte(a, b []byte) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// TestForkMatchesReplay is the snapshot determinism contract: running a
+// scenario straight through, versus pausing it at T, snapshotting, forking,
+// and finishing the fork, must serialize to identical bytes — at the
+// end-of-warmup instant the harness would snapshot at, and deep inside the
+// chaos (attack, crash window, telemetry dropout, DVFS delay all active)
+// where every cursor and ledger is mid-flight.
+func TestForkMatchesReplay(t *testing.T) {
+	want := serializeResult(t, mustRun(t, forkConfig()))
+
+	for _, at := range []float64{5, 40} {
+		parent, err := core.New(forkConfig())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		parent.Start()
+		parent.RunTo(at)
+		snap, err := parent.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot at %g: %v", at, err)
+		}
+		if snap.At() != at {
+			t.Fatalf("snapshot instant = %g, want %g", snap.At(), at)
+		}
+
+		fork := snap.Fork()
+		fork.RunTo(forkConfig().Horizon)
+		got := serializeResult(t, fork.Finish())
+		if !bytes.Equal(got, want) {
+			t.Errorf("fork from T=%g diverged from the straight run at byte %d", at, diffByte(got, want))
+		}
+
+		// Snapshotting must not disturb the parent: it finishes its own run
+		// and still matches the straight-through reference.
+		parent.RunTo(forkConfig().Horizon)
+		if got := serializeResult(t, parent.Finish()); !bytes.Equal(got, want) {
+			t.Errorf("parent after snapshot at T=%g diverged at byte %d", at, diffByte(got, want))
+		}
+	}
+}
+
+// TestForkUnderFaults pins the cursor-capture contract specifically: the
+// capture instant sits strictly inside four different fault windows plus the
+// firewall outage, so the fork resumes with every window already open — the
+// crash must not re-fire, the recoveries must still land, and the telemetry
+// sensor must keep the dropout's frozen reading.
+func TestForkUnderFaults(t *testing.T) {
+	cfg := forkConfig()
+	want := serializeResult(t, mustRun(t, cfg))
+
+	parent, err := core.New(forkConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	parent.Start()
+	parent.RunTo(38) // crash(20–45), dropout(30–50), dvfs-delay(15–55), firewall-down(35–45) all active
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	fork := snap.Fork()
+	fork.RunTo(cfg.Horizon)
+	if got := serializeResult(t, fork.Finish()); !bytes.Equal(got, want) {
+		t.Fatalf("fork taken mid-fault-window diverged at byte %d", diffByte(got, want))
+	}
+}
+
+// TestDoubleForkIndependence forks one snapshot twice and races the forks
+// (and the parent) to completion concurrently: all three must produce the
+// straight run's bytes, and under -race the clones must share no mutable
+// state.
+func TestDoubleForkIndependence(t *testing.T) {
+	cfg := forkConfig()
+	want := serializeResult(t, mustRun(t, cfg))
+
+	parent, err := core.New(forkConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	parent.Start()
+	parent.RunTo(40)
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	sims := []*core.Simulation{snap.Fork(), snap.Fork(), parent}
+	got := make([][]byte, len(sims))
+	var wg sync.WaitGroup
+	for i, sim := range sims {
+		wg.Add(1)
+		go func(i int, sim *core.Simulation) {
+			defer wg.Done()
+			sim.RunTo(cfg.Horizon)
+			res := sim.Finish()
+			var buf bytes.Buffer
+			if err := report.JSON(&buf, res, 200); err != nil {
+				t.Errorf("sim %d: serialize: %v", i, err)
+				return
+			}
+			res.Fprint(&buf)
+			got[i] = buf.Bytes()
+		}(i, sim)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if !bytes.Equal(g, want) {
+			t.Errorf("concurrent clone %d diverged from the straight run at byte %d", i, diffByte(g, want))
+		}
+	}
+}
+
+// nonCloner is a valid Scheme that deliberately does not implement
+// defense.Cloner.
+type nonCloner struct{ defense.Scheme }
+
+func (nonCloner) Name() string { return "non-cloner" }
+
+// TestSnapshotPreconditions pins the refusal paths: an observed run cannot be
+// snapshotted (a fork would emit into its parent's trace), a scheme without
+// CloneScheme cannot be captured, and a simulation that has not Started has
+// no chains to capture.
+func TestSnapshotPreconditions(t *testing.T) {
+	cfg := forkConfig()
+	cfg.Observer = obs.NewBus()
+	observed := core.MustNew(cfg)
+	observed.Start()
+	observed.RunTo(10)
+	if _, err := observed.Snapshot(); err == nil {
+		t.Error("snapshot of an observed run did not error")
+	}
+	observed.RunTo(cfg.Horizon)
+	observed.Finish()
+
+	plain := forkConfig()
+	plain.Scheme = nonCloner{Scheme: defense.NewNone()}
+	sim := core.MustNew(plain)
+	sim.Start()
+	sim.RunTo(10)
+	if _, err := sim.Snapshot(); err == nil {
+		t.Error("snapshot with a non-Cloner scheme did not error")
+	}
+	sim.RunTo(plain.Horizon)
+	sim.Finish()
+
+	if _, err := core.MustNew(forkConfig()).Snapshot(); err == nil {
+		t.Error("snapshot before Start did not error")
+	}
+}
+
+// TestResetMatchesFresh pins the arena-reuse contract: rewinding a used
+// simulation with Reset must serialize to the same bytes as a fresh New,
+// even when the previous tenant ran a different scenario — reuse may only
+// change where structs live, never the event order or RNG draws.
+func TestResetMatchesFresh(t *testing.T) {
+	want := serializeResult(t, mustRun(t, forkConfig()))
+
+	first := forkConfig()
+	first.Seed = 0xBEEF
+	first.NormalRPS = 150
+	first.Horizon = 60
+	sim, err := core.New(first)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sim.Run()
+
+	if err := sim.Reset(forkConfig()); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := serializeResult(t, sim.Run()); !bytes.Equal(got, want) {
+		t.Fatalf("reset run diverged from a fresh run at byte %d", diffByte(got, want))
+	}
+}
+
+func mustRun(t *testing.T, cfg core.Config) *core.Result {
+	t.Helper()
+	res, err := core.RunOnce(cfg)
+	if err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+	return res
+}

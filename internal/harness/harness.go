@@ -116,8 +116,9 @@ func (p *Pool) Run(jobs []Job) []RunResult {
 		return out
 	}
 	if p.workers == 1 || len(jobs) == 1 {
+		var cache simCache
 		for i, j := range jobs {
-			out[i] = p.runJob(j)
+			out[i] = p.runJob(&cache, j)
 		}
 		return out
 	}
@@ -127,8 +128,12 @@ func (p *Pool) Run(jobs []Job) []RunResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker keeps one simulation alive across its jobs:
+			// Reset recycles the warmed event pool and request arena
+			// instead of reallocating them per run.
+			var cache simCache
 			for i := range idx {
-				out[i] = p.runJob(jobs[i])
+				out[i] = p.runJob(&cache, jobs[i])
 			}
 		}()
 	}
@@ -177,14 +182,14 @@ func (p *Pool) Go(fns []func()) {
 // component observed traffic yet); retrying after a mid-run panic or
 // timeout is best-effort — the config's Scheme may have observed part of a
 // run, which the seed perturbation cannot undo.
-func (p *Pool) runJob(j Job) RunResult {
+func (p *Pool) runJob(cache *simCache, j Job) RunResult {
 	tries := p.retry.attempts()
 	var res *core.Result
 	var err error
 	for k := 0; k < tries; k++ {
 		cfg := j.Config
 		cfg.Seed = j.Config.Seed + uint64(k)*p.retry.Backoff
-		res, err = p.runOnce(cfg)
+		res, err = p.runOnce(cache, cfg)
 		if err == nil {
 			return RunResult{Label: j.Label, Result: res, Attempts: k + 1}
 		}
@@ -199,10 +204,13 @@ func (p *Pool) runJob(j Job) RunResult {
 // though every simulation run flows through here — it decides when to
 // abandon a hung attempt and never feeds a value into a simulation.
 //lint:allow walltime -- watchdog only; wall time never enters a simulation
-func (p *Pool) runOnce(cfg core.Config) (*core.Result, error) {
+func (p *Pool) runOnce(cache *simCache, cfg core.Config) (*core.Result, error) {
 	if p.timeout <= 0 {
-		return runRecovered(cfg)
+		return cache.run(cfg)
 	}
+	// The watchdog path never touches the worker's cached simulation: an
+	// abandoned attempt's goroutine keeps running and still owns whatever
+	// simulation it was handed, so each attempt gets a throwaway one.
 	type outcome struct {
 		res *core.Result
 		err error
@@ -234,6 +242,36 @@ func runRecovered(cfg core.Config) (res *core.Result, err error) {
 		}
 	}()
 	return core.RunOnce(cfg)
+}
+
+// simCache is one worker's reusable simulation. Reset is result-identical
+// to New (see core.Simulation.Reset), so reuse only changes where structs
+// live. The cache is dropped after any error or panic: a half-built or
+// mid-run-abandoned simulation must not serve the next job.
+type simCache struct {
+	sim *core.Simulation
+}
+
+// run executes one attempt on the cached simulation, recovering panics the
+// same way runRecovered does.
+func (c *simCache) run(cfg core.Config) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.sim = nil
+			res = nil
+			err = fmt.Errorf("simulation panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if c.sim == nil {
+		c.sim, err = core.New(cfg)
+	} else {
+		err = c.sim.Reset(cfg)
+	}
+	if err != nil {
+		c.sim = nil
+		return nil, err
+	}
+	return c.sim.Run(), nil
 }
 
 // Errs joins the errors of every failed result into one error naming the

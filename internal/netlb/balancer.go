@@ -112,6 +112,25 @@ func (b *Balancer) SetObserver(o obs.Observer) {
 // Profiler returns the installed source profiler, if any.
 func (b *Balancer) Profiler() *SourceProfiler { return b.profiler }
 
+// Clone returns an independent copy bound to the given (already cloned)
+// servers, which must parallel the original's pool index-for-index: the
+// round-robin cursor, suspect list and profiler state all carry over, so
+// the clone routes exactly as the original would have. The observer is not
+// carried over.
+func (b *Balancer) Clone(servers []*server.Server) *Balancer {
+	c := *b
+	c.servers = servers
+	c.obs = nil
+	c.suspectURLs = make(map[string]bool, len(b.suspectURLs))
+	for u, v := range b.suspectURLs {
+		c.suspectURLs[u] = v
+	}
+	if b.profiler != nil {
+		c.profiler = b.profiler.Clone()
+	}
+	return &c
+}
+
 // SplitActive reports whether PDF forwarding is in effect: a suspicion
 // mechanism (URL list or source profiler) and at least one server marked
 // suspect.

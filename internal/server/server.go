@@ -38,8 +38,16 @@ type Server struct {
 	// Suspect marks nodes the Anti-DOPE PDF module routes risky traffic to.
 	Suspect bool
 
-	freq    power.GHz
+	freq power.GHz
+	// The active set is a struct-of-arrays ledger: active[i], actRem[i] and
+	// actCls[i] describe one in-service request. The hot loops (Advance,
+	// NextCompletion, mix) walk the two scalar slices without chasing the
+	// request pointers; actRem is the authoritative remaining demand while a
+	// request is in service, written back to Request.Remaining only when the
+	// request leaves the server (completion, crash, outage).
 	active  []*workload.Request
+	actRem  []float64
+	actCls  []workload.Class
 	lastAdv float64
 	version uint64
 	// down marks a crashed node (fault injection): it draws no power,
@@ -59,6 +67,10 @@ type Server struct {
 	// perf is the per-class profile cache; an array because the class space
 	// is small, dense and hit on every request advance.
 	perf [workload.NumClasses]profileCache
+	// clsCounts tracks the active set's per-class population incrementally
+	// (admit ++, completion --, eviction reset), so the mix summary rebuild
+	// is O(classes) instead of an O(active) rescan per version bump.
+	clsCounts [workload.NumClasses]int
 	// speedTab[c] is pow(Rel(freq), beta_c) at the current frequency — the
 	// demand-depletion factor of class c — recomputed only on CapFreq.
 	speedTab [workload.NumClasses]float64
@@ -144,6 +156,27 @@ func (s *Server) refreshSpeedTab() {
 // SetObserver installs the event sink. Pass nil to detach.
 func (s *Server) SetObserver(o obs.Observer) { s.obs = o }
 
+// Clone returns an independent deep copy for snapshot forking. In-service
+// requests are copied struct-by-struct — both sides keep depleting their own
+// ledgers — while the read-only power table is shared. Caches that are pure
+// derivations (mix summary, done buffer) start cold on the clone; the
+// observer is detached, matching Snapshot's unobserved-run precondition.
+func (s *Server) Clone() *Server {
+	c := *s
+	c.active = make([]*workload.Request, len(s.active))
+	for i, r := range s.active {
+		cp := *r
+		c.active[i] = &cp
+	}
+	c.actRem = append([]float64(nil), s.actRem...)
+	c.actCls = append([]workload.Class(nil), s.actCls...)
+	c.mixBuf = nil
+	c.mixValid = false
+	c.doneBuf = nil
+	c.obs = nil
+	return &c
+}
+
 // Version increments whenever the server's dynamics change (arrival,
 // completion, frequency change). The simulation driver stamps scheduled
 // completion events with it to invalidate stale events cheaply.
@@ -182,14 +215,6 @@ func (s *Server) share() float64 {
 	return float64(s.Cores) / float64(n)
 }
 
-// speedOf returns the demand-depletion rate of one request at the current
-// operating point: core share × (f/f_max)^beta.
-//
-//hot:allocfree
-func (s *Server) speedOf(r *workload.Request) float64 {
-	return s.share() * s.speedTab[r.Class]
-}
-
 // Advance moves the server's internal clock to now, depleting demand and
 // integrating energy. It returns requests that completed, with FinishAt
 // set. Advance must be called with non-decreasing now.
@@ -213,15 +238,18 @@ func (s *Server) Advance(now float64) []*workload.Request {
 	s.busyCoreSecs += s.share() * float64(len(s.active)) * dt
 
 	var done []*workload.Request
-	if len(s.active) > 0 {
+	if n := len(s.active); n > 0 {
 		done = s.doneBuf[:0]
 		sh := s.share()
-		keep := s.active[:0]
-		for _, r := range s.active {
-			r.Remaining -= sh * s.speedTab[r.Class] * dt
-			if r.Remaining <= 1e-9 {
+		act, rem, cls := s.active, s.actRem, s.actCls
+		w := 0
+		for i := 0; i < n; i++ {
+			left := rem[i] - sh*s.speedTab[cls[i]]*dt
+			if left <= 1e-9 {
+				r := act[i]
 				r.Remaining = 0
 				r.FinishAt = now
+				s.clsCounts[cls[i]]--
 				s.completed++
 				s.demandServed += r.Demand
 				done = append(done, r)
@@ -234,10 +262,16 @@ func (s *Server) Advance(now float64) []*workload.Request {
 					})
 				}
 			} else {
-				keep = append(keep, r)
+				act[w], rem[w], cls[w] = act[i], left, cls[i]
+				w++
 			}
 		}
-		s.active = keep
+		// Zero the vacated pointer tail so the backing array does not pin
+		// completed requests after they are recycled.
+		for i := w; i < n; i++ {
+			act[i] = nil
+		}
+		s.active, s.actRem, s.actCls = act[:w], rem[:w], cls[:w]
 		s.doneBuf = done
 		if len(done) > 0 {
 			s.version++
@@ -253,6 +287,8 @@ func (s *Server) Advance(now float64) []*workload.Request {
 // Admit places a request in service at time now. The caller must have
 // advanced the server to now first. It returns false (and marks the request
 // dropped) when the inflight bound is hit.
+//
+//hot:allocfree
 func (s *Server) Admit(now float64, r *workload.Request) bool {
 	//lint:allow floateq -- contract check: caller must pass the exact advance instant
 	if now != s.lastAdv {
@@ -272,12 +308,16 @@ func (s *Server) Admit(now float64, r *workload.Request) bool {
 	}
 	r.StartAt = now
 	s.active = append(s.active, r)
+	s.actRem = append(s.actRem, r.Remaining)
+	s.actCls = append(s.actCls, r.Class)
+	s.clsCounts[r.Class]++
 	s.version++
 	s.powerDirty = true
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{
 			T: now, Kind: obs.KindReqStart,
 			Server: int32(s.ID), Class: int32(r.Class), ID: r.ID,
+			//lint:allow hotalloc -- inlined Class.String: only its invalid-class fallback boxes, never taken here
 			Label: r.Class.String(),
 		})
 	}
@@ -294,12 +334,13 @@ func (s *Server) NextCompletion() (at float64, ok bool) {
 	}
 	best := math.Inf(1)
 	sh := s.share()
-	for _, r := range s.active {
-		sp := sh * s.speedTab[r.Class]
+	rem, cls := s.actRem, s.actCls
+	for i := range rem {
+		sp := sh * s.speedTab[cls[i]]
 		if sp <= 0 {
 			continue
 		}
-		t := r.Remaining / sp
+		t := rem[i] / sp
 		if t < best {
 			best = t
 		}
@@ -321,12 +362,8 @@ func (s *Server) mix() []power.IndexedComponent {
 	}
 	s.mixBuf = s.mixBuf[:0]
 	if len(s.active) > 0 {
-		var counts [workload.NumClasses]int
-		for _, r := range s.active {
-			counts[r.Class]++
-		}
 		share := s.share()
-		for c, n := range counts {
+		for c, n := range s.clsCounts {
 			if n == 0 {
 				continue
 			}
@@ -405,8 +442,10 @@ func (s *Server) Utilization() float64 {
 // ClassCounts returns the number of in-service requests per class.
 func (s *Server) ClassCounts() map[workload.Class]int {
 	out := make(map[workload.Class]int)
-	for _, r := range s.active {
-		out[r.Class]++
+	for c, n := range s.clsCounts {
+		if n > 0 {
+			out[workload.Class(c)] = n
+		}
 	}
 	return out
 }
@@ -415,14 +454,30 @@ func (s *Server) ClassCounts() map[workload.Class]int {
 // came, for battery-autonomy planning. Returns 0 when idle.
 func (s *Server) DrainDeadline() float64 {
 	total := 0.0
-	for _, r := range s.active {
-		total += r.Remaining / s.speedTab[r.Class]
+	for i, rm := range s.actRem {
+		total += rm / s.speedTab[s.actCls[i]]
 	}
 	if total == 0 { //lint:allow floateq -- exact: a sum of non-negatives is 0 iff no work remains
 		return 0
 	}
 	// Work conserves: total core-seconds left divided by core capacity.
 	return s.lastAdv + total/float64(s.Cores)
+}
+
+// detach hands the whole active set to the caller: the ledger's remaining
+// demand is written back into each request (the structs are stale while in
+// service), the pointer slice is surrendered, and the scalar columns are
+// truncated for reuse. Only the bulk-eviction paths (FailAll, Crash) use it.
+func (s *Server) detach() []*workload.Request {
+	out := s.active
+	for i, r := range out {
+		r.Remaining = s.actRem[i]
+	}
+	s.active = nil
+	s.actRem = s.actRem[:0]
+	s.actCls = s.actCls[:0]
+	s.clsCounts = [workload.NumClasses]int{}
+	return out
 }
 
 var _ power.Capper = (*Server)(nil)
@@ -440,8 +495,7 @@ func (s *Server) FailAll(now float64) []*workload.Request {
 	if len(s.active) == 0 {
 		return nil
 	}
-	failed := s.active
-	s.active = nil
+	failed := s.detach()
 	for _, r := range failed {
 		r.Dropped = true
 		r.DropReason = "outage"
@@ -470,8 +524,7 @@ func (s *Server) Crash(now float64) []*workload.Request {
 		return nil
 	}
 	s.down = true
-	orphans := s.active
-	s.active = nil
+	orphans := s.detach()
 	s.version++
 	s.powerDirty = true
 	if s.obs != nil {

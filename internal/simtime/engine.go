@@ -76,6 +76,18 @@ func (e Event) At() Seconds {
 	return e.ev.at
 }
 
+// Seq returns the event's scheduling sequence number — the engine's tie-break
+// key for events sharing one timestamp — or 0 when the event is not pending.
+// Snapshot capture reads it to re-schedule surviving chains on a forked
+// engine in an order that reproduces the original's same-instant firing
+// order.
+func (e Event) Seq() uint64 {
+	if !e.Pending() {
+		return 0
+	}
+	return e.ev.seq
+}
+
 // compactMin is the queue size below which compaction is not worth the
 // rebuild; tiny queues recycle cancelled events at pop time anyway.
 const compactMin = 64
@@ -219,6 +231,68 @@ func (e *Engine) RunUntil(horizon Seconds) {
 	}
 }
 
+// DrainAt fires, in scheduling order, every pending event stamped with the
+// earliest pending timestamp, provided that timestamp does not exceed
+// horizon — one batch pop instead of one Step call per event. Events a
+// callback schedules at the batch instant join the same batch (exactly the
+// order a Step loop would produce, so DrainAt is result-identical to
+// stepping). It returns how many events fired and the batch timestamp;
+// n == 0 means no event at or before horizon remained, and the clock has
+// been left at horizon so periodic processes can resume cleanly.
+//
+// Only bit-identical timestamps share a batch: continuous-time events
+// (completions, arrivals) essentially never coalesce, while grid-aligned
+// events (control ticks, fault windows, same-instant cascades) do.
+//
+//hot:allocfree
+func (e *Engine) DrainAt(horizon Seconds) (n int, at Seconds) {
+	for len(e.events) > 0 {
+		top := e.events[0]
+		if top.cancelled {
+			e.recycle(e.popMin())
+			continue
+		}
+		if n == 0 {
+			if top.at > horizon {
+				break
+			}
+			at = top.at
+		} else if top.at != at { //lint:allow floateq -- deliberate: only bit-identical timestamps batch together
+			break
+		}
+		ev := e.popMin()
+		e.live--
+		fn := ev.fn
+		e.recycle(ev)
+		e.now = at
+		e.fired++
+		n++
+		fn(e.now)
+	}
+	if n == 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return n, at
+}
+
+// Reset returns the engine to its initial state — clock at zero, no pending
+// events, counters cleared — while keeping the event pool, so the next
+// tenancy schedules into warm storage. Every queued event (live or
+// cancelled) is recycled; outstanding handles become inert.
+func (e *Engine) Reset() {
+	for _, ev := range e.events {
+		e.recycle(ev)
+	}
+	for i := range e.events {
+		e.events[i] = nil
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.live = 0
+}
+
 // compact rebuilds the heap without its cancelled events and recycles them.
 // Live events keep their (at, seq) keys, so the pop order — the only thing
 // the determinism contract pins — is unchanged.
@@ -360,6 +434,27 @@ func (t *Ticker) fire(now Seconds) {
 	if !t.done {
 		t.ev = t.engine.Schedule(now+t.period, t.fireFn)
 	}
+}
+
+// Next returns the absolute time of the ticker's next scheduled fire, and
+// whether one is pending (a stopped ticker has none). Snapshot capture uses
+// it to re-arm an equivalent ticker on a forked engine.
+func (t *Ticker) Next() (Seconds, bool) {
+	if t.done || !t.ev.Pending() {
+		return 0, false
+	}
+	return t.ev.At(), true
+}
+
+// NextEvent returns the handle of the ticker's next scheduled fire (the zero
+// Event for a stopped ticker), exposing its time and sequence number to
+// snapshot capture. Cancelling the handle directly would desynchronize the
+// ticker; use Stop instead.
+func (t *Ticker) NextEvent() Event {
+	if t.done {
+		return Event{}
+	}
+	return t.ev
 }
 
 // Stop cancels all future ticks. Stopping twice is a no-op.

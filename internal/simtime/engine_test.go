@@ -274,6 +274,31 @@ func BenchmarkScheduleFireSteady(b *testing.B) {
 	}
 }
 
+// BenchmarkDrainBatch measures the batch dispatch path the simulation's
+// RunTo drive loop uses: 16 events sharing one grid timestamp drained in a
+// single DrainAt call, the shape every control tick with same-instant
+// cascades produces.
+func BenchmarkDrainBatch(b *testing.B) {
+	e := NewEngine()
+	fn := func(now Seconds) {}
+	// Warm the pool so schedule/fire cycles recycle instead of allocating.
+	for j := 0; j < 16; j++ {
+		e.Schedule(0, fn)
+	}
+	e.DrainAt(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := float64(i + 1)
+		for j := 0; j < 16; j++ {
+			e.Schedule(at, fn)
+		}
+		if n, _ := e.DrainAt(at); n != 16 {
+			b.Fatalf("batch fired %d events, want 16", n)
+		}
+	}
+}
+
 // BenchmarkScheduleCancel measures the cancel-heavy pattern the completion
 // rescheduler produces: most scheduled events are superseded before firing.
 func BenchmarkScheduleCancel(b *testing.B) {

@@ -89,17 +89,28 @@ func MaxLegitRPS(template core.Config, objectives SLA, lo, hi float64, probes in
 	if lo < 0 || hi <= lo || probes <= 0 {
 		return 0, fmt.Errorf("sla: bad search range [%g,%g] x%d", lo, hi, probes)
 	}
+	// One simulation serves every probe: Reset recycles the warmed event
+	// pool and request arena between runs and is result-identical to a fresh
+	// New. (The template's Scheme is shared across probes either way — its
+	// Setup re-initializes per run — so reuse changes nothing observable.)
+	var sim *core.Simulation
 	run := func(rps float64) (bool, error) {
 		cfg := template
 		cfg.NormalRPS = rps
 		if cfg.NormalSources <= 0 {
 			cfg.NormalSources = 64
 		}
-		res, err := core.RunOnce(cfg)
+		var err error
+		if sim == nil {
+			sim, err = core.New(cfg)
+		} else {
+			err = sim.Reset(cfg)
+		}
 		if err != nil {
+			sim = nil
 			return false, err
 		}
-		return objectives.Met(res), nil
+		return objectives.Met(sim.Run()), nil
 	}
 
 	ok, err := run(lo)

@@ -5,7 +5,10 @@
 // sensitive both are to CPU frequency.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Class identifies a request type.
 type Class int
@@ -100,68 +103,93 @@ func (p Profile) WattsPerRequestScale() float64 {
 	return p.MeanDemand * p.PowerWeight
 }
 
-// Catalog returns the full class catalog. The calibration reproduces the
-// qualitative facts of Section 3: Colla-Filt has the highest aggregate power
-// intensity (near-vertical, right-most CDF in Fig. 5-a), K-means the highest
-// power per request (Fig. 5-b) and the lowest frequency sensitivity
-// (deepest V/F cut in Fig. 6-b), Word-Count is disk-bound and mid-weight,
-// Text-Cont light, and volumetric floods cheap per packet.
-func Catalog() map[Class]Profile {
-	return map[Class]Profile{
-		CollaFilt: {
-			Class: CollaFilt, URL: "/recommend",
-			MeanDemand: 0.170, DemandCV: 0.30,
-			PowerWeight: 1.00, PowerAlpha: 2.4, PerfBeta: 1.00,
-			NetCost: 1.0,
-		},
-		KMeans: {
-			Class: KMeans, URL: "/classify",
-			MeanDemand: 0.210, DemandCV: 0.40,
-			PowerWeight: 0.95, PowerAlpha: 1.1, PerfBeta: 0.55,
-			NetCost: 1.0,
-		},
-		WordCount: {
-			Class: WordCount, URL: "/wordcount",
-			MeanDemand: 0.060, DemandCV: 0.50,
-			PowerWeight: 0.80, PowerAlpha: 1.6, PerfBeta: 0.40,
-			NetCost: 1.5,
-		},
-		TextCont: {
-			Class: TextCont, URL: "/text",
-			MeanDemand: 0.012, DemandCV: 0.40,
-			PowerWeight: 0.45, PowerAlpha: 1.8, PerfBeta: 0.70,
-			NetCost: 1.2,
-		},
-		AliNormal: {
-			Class: AliNormal, URL: "/shop",
-			MeanDemand: 0.020, DemandCV: 0.80,
-			PowerWeight: 0.55, PowerAlpha: 2.0, PerfBeta: 0.85,
-			NetCost: 1.0,
-		},
-		VolumeFlood: {
-			Class: VolumeFlood, URL: "/",
-			MeanDemand: 0.0008, DemandCV: 0.20,
-			PowerWeight: 0.25, PowerAlpha: 1.5, PerfBeta: 0.20,
-			NetCost: 6.0,
-		},
-		SlowDrip: {
-			Class: SlowDrip, URL: "/",
-			MeanDemand: 0.0004, DemandCV: 0.20,
-			PowerWeight: 0.10, PowerAlpha: 1.2, PerfBeta: 0.10,
-			NetCost: 0.3,
-		},
+// catalog is the class table, indexed by Class. Lookup serves straight from
+// this array: the profile is consulted on every minted request and every
+// firewall observation, so the hot path must be an index, not a map build.
+// The calibration reproduces the qualitative facts of Section 3: Colla-Filt
+// has the highest aggregate power intensity (near-vertical, right-most CDF
+// in Fig. 5-a), K-means the highest power per request (Fig. 5-b) and the
+// lowest frequency sensitivity (deepest V/F cut in Fig. 6-b), Word-Count is
+// disk-bound and mid-weight, Text-Cont light, and volumetric floods cheap
+// per packet.
+var catalog = [NumClasses]Profile{
+	CollaFilt: {
+		Class: CollaFilt, URL: "/recommend",
+		MeanDemand: 0.170, DemandCV: 0.30,
+		PowerWeight: 1.00, PowerAlpha: 2.4, PerfBeta: 1.00,
+		NetCost: 1.0,
+	},
+	KMeans: {
+		Class: KMeans, URL: "/classify",
+		MeanDemand: 0.210, DemandCV: 0.40,
+		PowerWeight: 0.95, PowerAlpha: 1.1, PerfBeta: 0.55,
+		NetCost: 1.0,
+	},
+	WordCount: {
+		Class: WordCount, URL: "/wordcount",
+		MeanDemand: 0.060, DemandCV: 0.50,
+		PowerWeight: 0.80, PowerAlpha: 1.6, PerfBeta: 0.40,
+		NetCost: 1.5,
+	},
+	TextCont: {
+		Class: TextCont, URL: "/text",
+		MeanDemand: 0.012, DemandCV: 0.40,
+		PowerWeight: 0.45, PowerAlpha: 1.8, PerfBeta: 0.70,
+		NetCost: 1.2,
+	},
+	AliNormal: {
+		Class: AliNormal, URL: "/shop",
+		MeanDemand: 0.020, DemandCV: 0.80,
+		PowerWeight: 0.55, PowerAlpha: 2.0, PerfBeta: 0.85,
+		NetCost: 1.0,
+	},
+	VolumeFlood: {
+		Class: VolumeFlood, URL: "/",
+		MeanDemand: 0.0008, DemandCV: 0.20,
+		PowerWeight: 0.25, PowerAlpha: 1.5, PerfBeta: 0.20,
+		NetCost: 6.0,
+	},
+	SlowDrip: {
+		Class: SlowDrip, URL: "/",
+		MeanDemand: 0.0004, DemandCV: 0.20,
+		PowerWeight: 0.10, PowerAlpha: 1.2, PerfBeta: 0.10,
+		NetCost: 0.3,
+	},
+}
+
+// demandMu and demandSigma are each class's log-normal demand parameters,
+// derived once from (MeanDemand, DemandCV) with exactly the float operations
+// Stream.LogNormal performs per sample — so minting through them draws
+// bit-identical demands while skipping two Log and one Sqrt per request.
+var demandMu, demandSigma [NumClasses]float64
+
+func init() {
+	for c := range catalog {
+		p := &catalog[c]
+		sigma2 := math.Log(1 + p.DemandCV*p.DemandCV)
+		demandMu[c] = math.Log(p.MeanDemand) - sigma2/2
+		demandSigma[c] = math.Sqrt(sigma2)
 	}
+}
+
+// Catalog returns the full class catalog as a map. The map is built fresh
+// per call (callers may mutate their copy); hot paths use Lookup instead.
+func Catalog() map[Class]Profile {
+	out := make(map[Class]Profile, NumClasses)
+	for c := range catalog {
+		out[Class(c)] = catalog[c]
+	}
+	return out
 }
 
 // Lookup returns the profile for c, panicking on an undefined class: every
 // request in the simulator is constructed from the catalog, so a miss is a
 // programming error, not an input error.
 func Lookup(c Class) Profile {
-	p, ok := Catalog()[c]
-	if !ok {
+	if !c.Valid() {
 		panic(fmt.Sprintf("workload: no profile for %v", c))
 	}
-	return p
+	return catalog[c]
 }
 
 // ByURL returns the profile serving the given URL, and whether one exists.
