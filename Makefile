@@ -45,11 +45,14 @@ coverfloor:
 	sh scripts/coverfloor.sh 80 ./internal/scenario
 
 # Fault-injection suite under the race detector plus a fuzz smoke that feeds
-# malformed fault schedules into full runs; mirrors the CI chaos job. See
-# DESIGN.md "Fault model & graceful degradation".
+# malformed fault schedules into full runs; mirrors the CI chaos job. The
+# Net|Partition patterns pull in the network-condition suite (link loss,
+# latency, partitions, retry/backoff) and TestResilience covers both the
+# fault and network-chaos sweep goldens. See DESIGN.md "Fault model &
+# graceful degradation".
 chaos:
 	$(GO) test -race -count=1 ./internal/faults
-	$(GO) test -race -count=1 -run 'Fault|Crash|Telemetry|Firewall|Breaker|Failed|Fade|Down|Recovered' ./internal/core ./internal/server ./internal/netlb ./internal/battery ./internal/defense
+	$(GO) test -race -count=1 -run 'Fault|Crash|Telemetry|Firewall|Breaker|Failed|Fade|Down|Recovered|Net|Partition' ./internal/core ./internal/server ./internal/netlb ./internal/battery ./internal/defense
 	$(GO) test -race -count=1 -run 'TestResilience' ./internal/experiments
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/core
 

@@ -36,7 +36,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink observation windows ~4x")
 		seed     = flag.Uint64("seed", 2019, "experiment seed")
 		fig      = flag.Int("fig", 0, "run a single figure (3..19); 0 = all")
-		extra    = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|resilience|thermal")
+		extra    = flag.String("x", "", "run one beyond-the-paper experiment: ablation|outage|pulse|scale|capacity|detection|robustness|resilience|resilience-net|thermal")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (output is identical at any setting; 1 = sequential)")
 
 		scenarioFile = flag.String("scenario", "", "run one declarative scenario file (.yaml/.yml/.json; see EXPERIMENTS.md)")
@@ -249,6 +249,12 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 		case "resilience":
 			var r *experiments.ResilienceResult
 			r, err = experiments.Resilience(o)
+			if err == nil {
+				table = r.Table
+			}
+		case "resilience-net":
+			var r *experiments.ResilienceNetResult
+			r, err = experiments.ResilienceNet(o)
 			if err == nil {
 				table = r.Table
 			}

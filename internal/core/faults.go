@@ -160,6 +160,9 @@ func (f *faultRuntime) armObserver(s *Simulation) {
 			if ev.Kind == faults.FirewallDown {
 				s.obs.Emit(obs.Event{T: now, Kind: obs.KindFirewallDown, Server: -1, Class: -1, A: end})
 			}
+			if ev.Kind == faults.NetPartition {
+				s.obs.Emit(obs.Event{T: now, Kind: obs.KindNetPartition, Server: int32(ev.Server), Class: -1, A: end})
+			}
 		})
 		if !ev.Kind.Windowed() || end >= h {
 			continue
@@ -174,6 +177,9 @@ func (f *faultRuntime) armObserver(s *Simulation) {
 			})
 			if ev.Kind == faults.FirewallDown {
 				s.obs.Emit(obs.Event{T: now, Kind: obs.KindFirewallUp, Server: -1, Class: -1, A: ev.At})
+			}
+			if ev.Kind == faults.NetPartition {
+				s.obs.Emit(obs.Event{T: now, Kind: obs.KindNetHeal, Server: int32(ev.Server), Class: -1, A: ev.At})
 			}
 		})
 	}

@@ -93,6 +93,12 @@ func TestInertFaultScheduleMatchesBaseline(t *testing.T) {
 		{Kind: faults.ServerCrash, At: 1e6, Duration: 10, Server: 0},
 		{Kind: faults.TelemetryNoise, At: 1e6, Duration: 10, Param: 0.5},
 		{Kind: faults.FirewallDown, At: 1e6, Duration: 10},
+		// The network kinds are the strictest case: any of them present
+		// makes core install the whole delivery/retry layer (links, backoff
+		// stream, reachability predicate), which must still change nothing.
+		{Kind: faults.NetDelay, At: 1e6, Duration: 10, Server: 0, Param: 0.5},
+		{Kind: faults.NetLoss, At: 1e6, Duration: 10, Server: 1, Param: 0.5},
+		{Kind: faults.NetPartition, At: 1e6, Duration: 10, Server: 2},
 	}}
 	if !bytes.Equal(serializeRun(t, base), serializeRun(t, faulted)) {
 		t.Fatal("an inert fault schedule changed the run")
@@ -262,6 +268,12 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add([]byte{}, uint64(1))
 	f.Add(bytes.Repeat([]byte{0xFF}, 36), uint64(2))
 	f.Add([]byte{0, 1, 0, 0, 0, 0, 0, 0, 0x24, 0x40, 0, 0, 0, 0, 0, 0, 0x59, 0x40}, uint64(3))
+	// A lossy link plus a partition (kinds 10 and 11), so the fuzzer starts
+	// inside the delivery/retry layer's schedule space.
+	f.Add([]byte{
+		10, 2, 0, 0, 0, 0, 0, 0, 0x24, 0x40, 0, 0, 0, 0, 0, 0x88, 0xB3, 0x40,
+		11, 1, 0, 0, 0, 0, 0, 0, 0x2E, 0x40, 0, 0, 0, 0, 0, 0x88, 0xB3, 0x40,
+	}, uint64(4))
 	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
 		run := func() *core.Result {
 			cfg := core.DefaultConfig()

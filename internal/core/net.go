@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"antidope/internal/faults"
+	"antidope/internal/obs"
+	"antidope/internal/rng"
+	"antidope/internal/server"
+	"antidope/internal/workload"
+)
+
+// netRuntime is the delivery layer between the balancer and the servers,
+// built only when the fault schedule carries network-condition windows
+// (faults.Schedule.HasNet). It owns one faults.Link per server and the
+// seeded backoff stream of the retry machinery; internal/core consults it
+// on every delivery attempt. Outside every window the runtime is
+// transparent: deliveries stay synchronous, no stream is consumed, and the
+// run is byte-identical to one without the runtime (the inert-schedule
+// contract, pinned by TestInertFaultScheduleMatchesBaseline).
+type netRuntime struct {
+	pol     NetPolicy
+	links   []*faults.Link
+	backoff *rng.Stream
+
+	// pend tracks every outstanding in-flight delivery and retry so a
+	// Snapshot can re-arm them on a fork; entries delete themselves when
+	// their event fires. Iteration is confined to snapFlights, which
+	// sorts by engine sequence number.
+	pend    map[uint64]*netFlight
+	nextTok uint64
+}
+
+// netFlight is one outstanding network event: a delayed delivery heading
+// to a routed server (server >= 0) or a retry awaiting re-route
+// (server < 0).
+type netFlight struct {
+	at      float64
+	req     *workload.Request
+	server  int32
+	attempt int32
+	seq     uint64
+}
+
+// netFlightSnap is a netFlight frozen for snapshotting: the request rides
+// as a value copy because the parent's arena slot is reused once its run
+// retires the request.
+type netFlightSnap struct {
+	at      float64
+	req     workload.Request
+	server  int32
+	attempt int32
+	seq     uint64
+}
+
+// newNetRuntime builds the runtime over a schedule with network windows.
+// Every stream is a dedicated split of the run's root, so building the
+// runtime never consumes from — or shifts — any other stream.
+func newNetRuntime(sched *faults.Schedule, servers int, rnd *rng.Stream, pol NetPolicy) *netRuntime {
+	n := &netRuntime{
+		pol:     pol.Defaults(),
+		links:   make([]*faults.Link, servers),
+		backoff: rnd.Split("faults/net/backoff"),
+		pend:    make(map[uint64]*netFlight),
+	}
+	for i := 0; i < servers; i++ {
+		n.links[i] = faults.NewLink(sched, i, rnd.Split(fmt.Sprintf("faults/net/link/%d", i)))
+	}
+	return n
+}
+
+// clone returns an independent copy of the runtime for snapshot forking:
+// link cursor positions and stream positions carry over, the pending
+// ledger starts empty (Fork re-arms flights from the snapshot's frozen
+// list).
+func (n *netRuntime) clone() *netRuntime {
+	c := &netRuntime{
+		pol:     n.pol,
+		links:   make([]*faults.Link, len(n.links)),
+		backoff: n.backoff.Clone(),
+		pend:    make(map[uint64]*netFlight),
+		nextTok: n.nextTok,
+	}
+	for i, l := range n.links {
+		c.links[i] = l.Clone()
+	}
+	return c
+}
+
+// snapFlights freezes the pending ledger, sorted by engine sequence number
+// so a fork re-arms the flights in the parent's order.
+func (n *netRuntime) snapFlights() []netFlightSnap {
+	out := make([]netFlightSnap, 0, len(n.pend))
+	for _, fl := range n.pend {
+		out = append(out, netFlightSnap{
+			at: fl.at, req: *fl.req, server: fl.server,
+			attempt: fl.attempt, seq: fl.seq,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// anyPartitioned reports whether any link is inside a partition window at
+// now — the discriminator between "every server crashed" (a hard drop)
+// and "unreachable behind a partition" (retriable).
+func (n *netRuntime) anyPartitioned(now float64) bool {
+	for _, l := range n.links {
+		if l.Partitioned(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver runs one delivery attempt for a request: route through the
+// balancer (partitioned servers excluded), traverse the destination link
+// (loss lottery, delay draw), and admit. With no active network window it
+// collapses to the historical synchronous route-and-admit.
+func (s *Simulation) deliver(now float64, req *workload.Request, attempt int) {
+	sv := s.bal.Route(req)
+	if sv == nil {
+		if s.net != nil && s.net.anyPartitioned(now) {
+			// Everything reachable is down; behind the partition the
+			// servers still run, so the sender backs off and retries.
+			s.netFail(now, req, attempt, "net-unreachable")
+			return
+		}
+		// Every server is down (fault injection): nothing can serve this.
+		req.Dropped = true
+		req.DropReason = "no-server"
+		s.recordDrop(req, req.ArriveAt >= s.cfg.WarmupSec)
+		return
+	}
+	if s.net != nil {
+		link := s.net.links[sv.ID]
+		if link.Lost(now) {
+			s.res.NetLost++
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{
+					T: now, Kind: obs.KindNetDrop, Server: int32(sv.ID),
+					Class: int32(req.Class), ID: req.ID, B: float64(attempt),
+				})
+			}
+			// The sender only learns of the loss when its timeout lapses.
+			s.netFail(now+s.net.pol.TimeoutSec, req, attempt, "net-loss")
+			return
+		}
+		if d := link.DelaySec(now); d > 0 {
+			if d >= s.net.pol.TimeoutSec {
+				// The delivery would land after the sender gave up on it.
+				s.res.NetTimedOut++
+				if s.obs != nil {
+					s.obs.Emit(obs.Event{
+						T: now, Kind: obs.KindNetTimeout, Server: int32(sv.ID),
+						Class: int32(req.Class), ID: req.ID,
+						A: s.net.pol.TimeoutSec, B: float64(attempt),
+					})
+				}
+				s.netFail(now+s.net.pol.TimeoutSec, req, attempt, "net-timeout")
+				return
+			}
+			if s.obs != nil {
+				s.obs.Emit(obs.Event{
+					T: now, Kind: obs.KindNetDelay, Server: int32(sv.ID),
+					Class: int32(req.Class), ID: req.ID,
+					A: d, B: float64(attempt),
+				})
+			}
+			s.netSchedule(now+d, req, int32(sv.ID), int32(attempt))
+			return
+		}
+	}
+	s.admitTo(now, sv, req)
+}
+
+// admitTo is the tail of the historical arrival path: bring the server to
+// now, admit, and re-arm its completion chain.
+func (s *Simulation) admitTo(now float64, sv *server.Server, req *workload.Request) {
+	for _, done := range sv.Advance(now) {
+		s.recordCompletion(done)
+	}
+	if !sv.Admit(now, req) {
+		s.recordDrop(req, req.ArriveAt >= s.cfg.WarmupSec)
+		return
+	}
+	s.scheduleCompletion(sv)
+}
+
+// netFail handles one failed delivery attempt, known to the sender at
+// knownAt (the send instant for unreachable routes, send+timeout for
+// losses and late deliveries): either the next retry is scheduled with
+// exponential backoff and seeded jitter, or — attempts exhausted, or the
+// retry would land past the horizon — the request is dropped under the
+// failure's reason.
+func (s *Simulation) netFail(knownAt float64, req *workload.Request, attempt int, reason string) {
+	drop := func() {
+		req.Dropped = true
+		req.DropReason = reason
+		s.recordDrop(req, req.ArriveAt >= s.cfg.WarmupSec)
+	}
+	if attempt+1 >= s.net.pol.Attempts {
+		drop()
+		return
+	}
+	// Backoff doubles per attempt (capped well under float precision) and
+	// spreads by the seeded jitter, drawn only on this retry path.
+	exp := attempt
+	if exp > 30 {
+		exp = 30
+	}
+	back := s.net.pol.BackoffSec * float64(int64(1)<<uint(exp)) *
+		(1 + s.net.pol.JitterFrac*s.net.backoff.Float64())
+	at := knownAt + back
+	if at >= s.cfg.Horizon {
+		drop()
+		return
+	}
+	s.res.NetRetried++
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{
+			T: s.eng.Now(), Kind: obs.KindNetRetry, Server: -1,
+			Class: int32(req.Class), ID: req.ID,
+			A: at, B: float64(attempt + 1), Label: reason,
+		})
+	}
+	s.netSchedule(at, req, -1, int32(attempt+1))
+}
+
+// netSchedule arms one network event — a delayed delivery (server >= 0) or
+// a retry (server < 0) — and books it in the pending ledger for snapshots.
+func (s *Simulation) netSchedule(at float64, req *workload.Request, server, attempt int32) {
+	tok := s.net.nextTok
+	s.net.nextTok++
+	fl := &netFlight{at: at, req: req, server: server, attempt: attempt}
+	s.net.pend[tok] = fl
+	ev := s.eng.Schedule(at, func(now float64) {
+		delete(s.net.pend, tok)
+		s.netFire(now, fl)
+	})
+	fl.seq = ev.Seq()
+}
+
+// netFire lands one network event: retries re-enter deliver (re-routing
+// through the balancer, so a healed or different server picks them up);
+// delayed deliveries admit to the server chosen at send time, unless the
+// destination crashed or partitioned away while the packet was in flight —
+// then the sender's timeout has already lapsed and the retry path takes
+// over from the delivery instant.
+func (s *Simulation) netFire(now float64, fl *netFlight) {
+	if fl.server < 0 {
+		s.deliver(now, fl.req, int(fl.attempt))
+		return
+	}
+	if now < s.outageUntil {
+		fl.req.Dropped = true
+		fl.req.DropReason = "outage"
+		s.recordDrop(fl.req, fl.req.ArriveAt >= s.cfg.WarmupSec)
+		return
+	}
+	sv := s.cl.Servers[fl.server]
+	if !sv.Up() || s.net.links[sv.ID].Partitioned(now) {
+		s.netFail(now, fl.req, int(fl.attempt), "net-unreachable")
+		return
+	}
+	s.admitTo(now, sv, fl.req)
+}

@@ -56,6 +56,14 @@ func obsChaosConfig() core.Config {
 		faults.Event{Kind: faults.BatteryFailure, At: 40, Duration: 10},
 		faults.Event{Kind: faults.BatteryFade, At: 70, Param: 0.8},
 		faults.Event{Kind: faults.FirewallDown, At: 50, Duration: 10},
+		// The delivery layer's event kinds: a benign cluster-wide latency
+		// window (net-delay spans), a past-timeout latency spike on one link
+		// (net-timeout), a lossy link (net-drop), and a partition window
+		// closing before the horizon so both its open and heal markers land.
+		faults.Event{Kind: faults.NetDelay, At: 20, Duration: 20, Server: faults.AllServers, Param: 0.05},
+		faults.Event{Kind: faults.NetDelay, At: 45, Duration: 5, Server: 1, Param: 2},
+		faults.Event{Kind: faults.NetLoss, At: 30, Duration: 15, Server: 2, Param: 0.5},
+		faults.Event{Kind: faults.NetPartition, At: 55, Duration: 15, Server: 3},
 	)
 	return cfg
 }
@@ -142,6 +150,8 @@ func TestObservedEventKindCoverage(t *testing.T) {
 		obs.KindFirewallDown, obs.KindFirewallUp,
 		obs.KindServerCrash, obs.KindServerRecover,
 		obs.KindFaultOpen, obs.KindFaultClose,
+		obs.KindNetDelay, obs.KindNetDrop, obs.KindNetTimeout, obs.KindNetRetry,
+		obs.KindNetPartition, obs.KindNetHeal,
 		obs.KindTelemetry, obs.KindSample,
 	}
 	for _, k := range want {

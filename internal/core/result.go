@@ -92,6 +92,15 @@ type Result struct {
 	CrashRequeued uint64
 	CrashLost     uint64
 
+	// Network-condition ledger (only with network fault windows): deliveries
+	// lost on a lossy link, retries scheduled by the delivery layer, and
+	// deliveries abandoned because the link delay outran the sender's
+	// timeout. A lost or late delivery that later succeeds on a retry counts
+	// in both its failure tally and NetRetried.
+	NetLost     uint64
+	NetRetried  uint64
+	NetTimedOut uint64
+
 	// DopeTrace, present when the adaptive attacker ran, records its
 	// per-epoch operating points.
 	DopeTrace []DopeEpoch
@@ -211,6 +220,10 @@ func (r *Result) Fprint(w io.Writer) {
 	if r.ServerCrashes > 0 {
 		fmt.Fprintf(w, "  faults: %d server crashes (%d requeued, %d lost)\n",
 			r.ServerCrashes, r.CrashRequeued, r.CrashLost)
+	}
+	if r.NetLost+r.NetRetried+r.NetTimedOut > 0 {
+		fmt.Fprintf(w, "  network: %d deliveries lost, %d timed out, %d retries\n",
+			r.NetLost, r.NetTimedOut, r.NetRetried)
 	}
 	if r.TokenDropFrac > 0 {
 		fmt.Fprintf(w, "  token: dropped %.1f%% of packages\n", 100*r.TokenDropFrac)

@@ -52,6 +52,10 @@ type Simulation struct {
 	plant       *thermal.Plant
 	thermalHot  int // slots with any server thermally throttled
 	flt         *faultRuntime
+	// net is the network-condition delivery layer, built only when the
+	// fault schedule carries NetDelay/NetLoss/NetPartition windows; nil
+	// keeps every arrival on the historical synchronous path.
+	net *netRuntime
 
 	// obs is the run's observer (nil = unobserved fast path); obsFreq is
 	// the pre-ControlSlot frequency snapshot used to diff what the scheme
@@ -178,6 +182,12 @@ func (s *Simulation) init(cfg Config) error {
 	if sched := cfg.Faults.Build(); !sched.Empty() {
 		s.flt = newFaultRuntime(sched, len(cl.Servers), s.rnd.Split("faults/sensor"))
 		s.env.Telemetry = s.flt.sensor
+		if sched.HasNet() {
+			s.net = newNetRuntime(sched, len(cl.Servers), s.rnd, cfg.Net)
+			// Telemetry reads ride the same degraded network: the defense's
+			// power readings lag, drop, and blind with the link faults.
+			s.flt.sensor.AttachNet(sched, s.rnd.Split("faults/net/telemetry"))
+		}
 	}
 	if cfg.Observer != nil {
 		s.obs = cfg.Observer
@@ -249,6 +259,14 @@ func (s *Simulation) bindCallbacks() {
 			}
 			s.scheduleCompletion(sv)
 		}
+	}
+	// A partitioned server is invisible to the balancer while its physics
+	// keep running; bindCallbacks runs on init and Fork, so a forked child
+	// gets its own predicate over its own links.
+	if s.net != nil {
+		s.bal.SetReachable(func(id int) bool {
+			return !s.net.links[id].Partitioned(s.eng.Now())
+		})
 	}
 }
 
@@ -455,22 +473,7 @@ func (s *Simulation) handleArrival(now float64, req *workload.Request) {
 		s.recordDrop(req, measured)
 		return
 	}
-	sv := s.bal.Route(req)
-	if sv == nil {
-		// Every server is down (fault injection): nothing can serve this.
-		req.Dropped = true
-		req.DropReason = "no-server"
-		s.recordDrop(req, measured)
-		return
-	}
-	for _, done := range sv.Advance(now) {
-		s.recordCompletion(done)
-	}
-	if !sv.Admit(now, req) {
-		s.recordDrop(req, measured)
-		return
-	}
-	s.scheduleCompletion(sv)
+	s.deliver(now, req, 0)
 }
 
 // scheduleCompletion re-arms the server's next completion event. Each

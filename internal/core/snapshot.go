@@ -72,6 +72,7 @@ type Snapshot struct {
 	breaker *cluster.Breaker
 	plant   *thermal.Plant
 	flt     *faultRuntime
+	net     *netRuntime
 
 	dope        *attack.DopeAttacker
 	dopePlan    attack.Plan
@@ -98,6 +99,9 @@ type Snapshot struct {
 	dopeAt      float64
 	grid        []gridChain
 	comps       []compSnap
+	// netPend freezes the delivery layer's in-flight deliveries and retries,
+	// sorted by the parent's engine sequence numbers.
+	netPend []netFlightSnap
 }
 
 // At returns the simulated instant the snapshot was captured at.
@@ -161,6 +165,10 @@ func (s *Simulation) Snapshot() (*Snapshot, error) {
 	}
 	if s.flt != nil {
 		snap.flt = s.flt.clone()
+	}
+	if s.net != nil {
+		snap.net = s.net.clone()
+		snap.netPend = s.net.snapFlights()
 	}
 	if s.mix != nil {
 		snap.mix = s.mix.Clone(snap.factory)
@@ -252,6 +260,10 @@ func (snap *Snapshot) Fork() *Simulation {
 	if snap.flt != nil {
 		s.flt = snap.flt.clone()
 	}
+	if snap.net != nil {
+		// Before bindCallbacks: the reachability predicate closes over s.net.
+		s.net = snap.net.clone()
+	}
 	if snap.mix != nil {
 		s.mix = snap.mix.Clone(s.factory)
 	}
@@ -316,6 +328,13 @@ func (snap *Snapshot) Fork() *Simulation {
 		if c.pending {
 			s.compEvs[i] = s.eng.Schedule(c.at, s.compFns[i])
 		}
+	}
+	// In-flight network deliveries and retries, in the parent's sequence
+	// order; their timestamps are RNG-jittered continuous values like the
+	// other continuous chains.
+	for _, np := range snap.netPend {
+		req := np.req
+		s.netSchedule(np.at, &req, np.server, np.attempt)
 	}
 	return s
 }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resilienceNetQuickOutput renders the quick network-chaos sweep at the
+// given worker count.
+func resilienceNetQuickOutput(t testing.TB, parallel int) (*ResilienceNetResult, []byte) {
+	t.Helper()
+	r, err := ResilienceNet(Options{Seed: 2019, Quick: true, Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Table.Fprint(&buf)
+	return r, buf.Bytes()
+}
+
+// TestResilienceNetQuickGolden pins the network-chaos sweep — every table
+// cell — against testdata/resilience_net_quick.golden, and asserts the
+// acceptance ordering: under the heaviest link-fault schedule the schemes
+// degrade most-graceful-first, Anti-DOPE >= Token >= Shaving >= Capping on
+// SLA compliance. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestResilienceNetQuickGolden -update
+func TestResilienceNetQuickGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "resilience_net_quick.golden")
+	r, got := resilienceNetQuickOutput(t, 0)
+	if !r.DegradationOrderOK() {
+		t.Errorf("degradation ordering violated at top intensity: SLA %v for schemes %v",
+			r.SLA[len(r.SLA)-1], r.Schemes)
+	}
+	// The zero-intensity rows must be byte-for-byte free of network effects:
+	// no runtime is even constructed without network windows.
+	for j := range r.Schemes {
+		if r.NetLost[0][j]+r.NetTimedOut[0][j]+r.NetRetried[0][j] != 0 {
+			t.Errorf("intensity 0 scheme %s shows network activity (lost=%d timeout=%d retries=%d)",
+				r.Schemes[j], r.NetLost[0][j], r.NetTimedOut[0][j], r.NetRetried[0][j])
+		}
+	}
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ResilienceNet(quick) output diverged from %s; first %s\n(rerun with -update if the change is intended)",
+			golden, firstDiff(want, got))
+	}
+}
+
+// TestResilienceNetParallelEquivalence extends the harness guarantee to the
+// network-chaos sweep: link-fault schedules derive from per-intensity
+// seeds, never from execution order, so one worker and eight produce
+// identical bytes.
+func TestResilienceNetParallelEquivalence(t *testing.T) {
+	_, seq := resilienceNetQuickOutput(t, 1)
+	_, par := resilienceNetQuickOutput(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("-parallel 1 and -parallel 8 resilience-net outputs differ; first %s", firstDiff(seq, par))
+	}
+}

@@ -58,6 +58,18 @@ const (
 	// FirewallDown disables perimeter enforcement for the window
 	// (fail-open): every source passes unexamined.
 	FirewallDown
+	// NetDelay adds Param seconds of one-way latency (plus seeded jitter)
+	// to the link between the balancer and the target server for the
+	// window; deliveries slower than the sender's timeout are retried.
+	NetDelay
+	// NetLoss drops each delivery on the target server's link with
+	// probability Param for the window; lost requests are retried.
+	NetLoss
+	// NetPartition makes the target server unreachable from the balancer
+	// for the window while its physics — queue drain, power draw, breaker
+	// ledger — keep running; the balancer routes around it and heals it
+	// back in when the window closes.
+	NetPartition
 
 	numKinds int = iota
 )
@@ -66,6 +78,7 @@ var kindNames = [...]string{
 	"server-crash", "battery-failure", "battery-fade",
 	"telemetry-dropout", "telemetry-noise", "telemetry-stale",
 	"dvfs-delay", "dvfs-stuck", "firewall-down",
+	"net-delay", "net-loss", "net-partition",
 }
 
 // String returns the kebab-case fault name.
@@ -80,7 +93,7 @@ func (k Kind) String() string {
 // or the whole cluster (Server == AllServers).
 func (k Kind) serverScoped() bool {
 	switch k {
-	case ServerCrash, DVFSDelay, DVFSStuck:
+	case ServerCrash, DVFSDelay, DVFSStuck, NetDelay, NetLoss, NetPartition:
 		return true
 	}
 	return false
@@ -201,6 +214,13 @@ func sanitize(ev Event) (Event, bool) {
 		// At least one slot late, and bounded so slot arithmetic stays in
 		// safe integer range for any fuzzed magnitude.
 		ev.Param = clamp(ev.Param, 1, 1e6)
+	case NetDelay:
+		// Added latency in seconds; bounded like staleness so any fuzzed
+		// magnitude stays in safe float range.
+		ev.Param = clamp(ev.Param, 0, 1e9)
+	case NetLoss:
+		// A drop probability.
+		ev.Param = clamp(ev.Param, 0, 1)
 	default:
 		ev.Param = 0
 	}
@@ -277,6 +297,23 @@ func (s *Schedule) Events() []Event {
 
 // Empty reports whether the schedule holds no faults at all.
 func (s *Schedule) Empty() bool { return s == nil || len(s.events) == 0 }
+
+// HasNet reports whether the schedule holds any network-condition fault
+// (NetDelay, NetLoss, NetPartition); core builds the delivery/retry layer
+// only when this is true, so schedules without network kinds run the
+// historical synchronous path untouched.
+func (s *Schedule) HasNet() bool {
+	if s == nil {
+		return false
+	}
+	for _, ev := range s.events {
+		switch ev.Kind {
+		case NetDelay, NetLoss, NetPartition:
+			return true
+		}
+	}
+	return false
+}
 
 // Windows returns the normalized windows of a cluster-scoped kind, sorted
 // and disjoint.

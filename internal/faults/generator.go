@@ -30,6 +30,9 @@ type GeneratorConfig struct {
 	// BatteryFadeTo, when in (0, 1), additionally fades the UPS capacity to
 	// this fraction at a random instant.
 	BatteryFadeTo float64
+	// NetFaults is the expected number of network-condition windows, split
+	// evenly across per-link delay, loss, and partition.
+	NetFaults float64
 
 	// MeanFaultSec is the mean window duration; non-positive defaults to 20.
 	MeanFaultSec float64
@@ -46,6 +49,7 @@ func (g GeneratorConfig) Scaled(intensity float64) GeneratorConfig {
 	g.DVFSFaults *= intensity
 	g.FirewallFlaps *= intensity
 	g.BatteryFaults *= intensity
+	g.NetFaults *= intensity
 	return g
 }
 
@@ -103,6 +107,16 @@ func Generate(cfg GeneratorConfig) []Event {
 	draw(root.Split("dvfs-stuck"), DVFSStuck, dvfs, nil)
 	draw(root.Split("firewall"), FirewallDown, cfg.FirewallFlaps, nil)
 	draw(root.Split("battery"), BatteryFailure, cfg.BatteryFaults, nil)
+	// Network kinds draw from their own splits appended after the existing
+	// families, so enabling them never perturbs an established schedule.
+	net := cfg.NetFaults / 3
+	draw(root.Split("net-delay"), NetDelay, net, func(r *rng.Stream) float64 {
+		return 0.05 + r.Exp(0.3) // seconds of added one-way latency
+	})
+	draw(root.Split("net-loss"), NetLoss, net, func(r *rng.Stream) float64 {
+		return 0.05 + 0.45*r.Float64() // 5–50% drop probability
+	})
+	draw(root.Split("net-partition"), NetPartition, net, nil)
 	if cfg.BatteryFadeTo > 0 && cfg.BatteryFadeTo < 1 {
 		r := root.Split("fade")
 		out = append(out, Event{

@@ -22,6 +22,15 @@ type PowerSensor struct {
 	stale   *Cursor
 	rnd     *rng.Stream
 
+	// Network stage (AttachNet): the telemetry plane rides the same fabric
+	// the requests do, so cluster-scoped network windows delay, drop, or
+	// partition the defenses' power readings. netRnd is a dedicated
+	// stream so net draws never shift the noise draws.
+	netDelay *Cursor
+	netLoss  *Cursor
+	netPart  *Cursor
+	netRnd   *rng.Stream
+
 	// history retains (at, trueW) pairs long enough to serve the largest
 	// staleness lag in the schedule.
 	history []reading
@@ -61,6 +70,28 @@ func NewPowerSensor(s *Schedule, rnd *rng.Stream) *PowerSensor {
 // delivered value, so a trace shows exactly when the defenses went blind.
 func (p *PowerSensor) SetObserver(o obs.Observer) { p.obs = o }
 
+// AttachNet puts the telemetry plane on the network fabric: the schedule's
+// cluster-scoped (AllServers) network windows delay readings like extra
+// staleness, drop them like a dropout, and freeze them outright during a
+// partition. rnd feeds the delay jitter and loss draws; pass a dedicated
+// split. With no cluster-scoped network window the attachment is inert.
+func (p *PowerSensor) AttachNet(s *Schedule, rnd *rng.Stream) {
+	delayWins := s.Windows(NetDelay)
+	maxNet := 0.0
+	for _, w := range delayWins {
+		if w.Param > maxNet {
+			maxNet = w.Param
+		}
+	}
+	p.netDelay = NewCursor(delayWins)
+	p.netLoss = NewCursor(s.Windows(NetLoss))
+	p.netPart = NewCursor(s.Windows(NetPartition))
+	p.netRnd = rnd
+	// Staleness and network delay can stack; history must reach back far
+	// enough for both, with jitter headroom on the network share.
+	p.maxLag += maxNet * delayJitterMax
+}
+
 // Clone returns an independent copy of the sensor mid-pipeline for snapshot
 // forking: cursor positions, retained history, last delivered reading and
 // the noise stream position all carry over, so the fork's telemetry
@@ -72,6 +103,12 @@ func (p *PowerSensor) Clone() *PowerSensor {
 	c.noise = p.noise.Clone()
 	c.stale = p.stale.Clone()
 	c.rnd = p.rnd.Clone()
+	if p.netDelay != nil {
+		c.netDelay = p.netDelay.Clone()
+		c.netLoss = p.netLoss.Clone()
+		c.netPart = p.netPart.Clone()
+		c.netRnd = p.netRnd.Clone()
+	}
 	c.history = append([]reading(nil), p.history...)
 	c.obs = nil
 	return &c
@@ -85,8 +122,19 @@ func (p *PowerSensor) Sample(now, trueW float64) float64 {
 	}
 	value := trueW
 	faulted := false
+	// Staleness and network delay stack into one lag: both mean the
+	// reading the defenses see left the sensor in the past.
+	lag := 0.0
 	if w, ok := p.stale.Active(now); ok && w.Param > 0 {
-		value = p.readingAt(now - w.Param)
+		lag = w.Param
+	}
+	if p.netDelay != nil {
+		if w, ok := p.netDelay.Active(now); ok && w.Param > 0 {
+			lag += w.Param * (0.8 + 0.4*p.netRnd.Float64())
+		}
+	}
+	if lag > 0 {
+		value = p.readingAt(now - lag)
 		faulted = true
 	}
 	if w, ok := p.noise.Active(now); ok {
@@ -96,9 +144,26 @@ func (p *PowerSensor) Sample(now, trueW float64) float64 {
 		}
 		faulted = true
 	}
+	// Dropout, a telemetry-link partition, and a lost telemetry packet all
+	// block delivery the same way: the defenses hold the last good
+	// reading. The loss lottery is drawn whenever a loss window is active,
+	// partition or not, so overlap never shifts the stream.
+	blocked := false
 	if _, ok := p.dropout.Active(now); ok {
-		// Defenses hold the last good reading; a dropout from the very
-		// first sample on delivers zero — the defense is simply blind.
+		blocked = true
+	}
+	if p.netPart != nil {
+		if _, ok := p.netPart.Active(now); ok {
+			blocked = true
+		}
+		if w, ok := p.netLoss.Active(now); ok && w.Param > 0 &&
+			p.netRnd.Float64() < w.Param {
+			blocked = true
+		}
+	}
+	if blocked {
+		// A block from the very first sample on delivers zero — the
+		// defense is simply blind.
 		value = p.last
 		if !p.sampled {
 			value = 0

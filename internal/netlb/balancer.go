@@ -50,6 +50,12 @@ type Balancer struct {
 	// profiler, when set, adds online per-source suspicion to the URL list.
 	profiler *SourceProfiler
 
+	// reachable, when set, excludes servers the network has partitioned
+	// away from the pick pool — the same seam down-routing uses for
+	// crashed servers, but for nodes whose physics keep running. nil means
+	// every up server is reachable.
+	reachable func(id int) bool
+
 	routedSuspect  uint64
 	routedInnocent uint64
 
@@ -112,6 +118,21 @@ func (b *Balancer) SetObserver(o obs.Observer) {
 // Profiler returns the installed source profiler, if any.
 func (b *Balancer) Profiler() *SourceProfiler { return b.profiler }
 
+// SetReachable installs (or clears, with nil) the network reachability
+// predicate. Partitioned servers are skipped by every pick exactly like
+// crashed ones; when the predicate heals they rejoin the rotation in
+// place. The predicate must be deterministic in the simulation clock.
+func (b *Balancer) SetReachable(fn func(id int) bool) { b.reachable = fn }
+
+// avail reports whether a server can take traffic: up and, when a
+// reachability predicate is installed, not partitioned away.
+func (b *Balancer) avail(s *server.Server) bool {
+	if !s.Up() {
+		return false
+	}
+	return b.reachable == nil || b.reachable(s.ID)
+}
+
 // Clone returns an independent copy bound to the given (already cloned)
 // servers, which must parallel the original's pool index-for-index: the
 // round-robin cursor, suspect list and profiler state all carry over, so
@@ -121,6 +142,9 @@ func (b *Balancer) Clone(servers []*server.Server) *Balancer {
 	c := *b
 	c.servers = servers
 	c.obs = nil
+	// The reachability predicate closes over the original run's network
+	// runtime; the fork reinstalls its own against its cloned links.
+	c.reachable = nil
 	c.suspectURLs = make(map[string]bool, len(b.suspectURLs))
 	for u, v := range b.suspectURLs {
 		c.suspectURLs[u] = v
@@ -150,10 +174,10 @@ func (b *Balancer) SplitActive() bool {
 // request's URL decides the pool; the request is stamped Suspect when it
 // lands in the suspect pool so experiments can audit the split.
 //
-// Crashed servers are skipped. When the designated sub-pool is entirely
-// down, the request spills onto the whole cluster (availability beats
-// isolation for the duration of the fault); Route returns nil only when
-// every server is down.
+// Crashed and network-partitioned servers are skipped. When the designated
+// sub-pool is entirely down or unreachable, the request spills onto the
+// whole cluster (availability beats isolation for the duration of the
+// fault); Route returns nil only when every server is down or unreachable.
 func (b *Balancer) Route(req *workload.Request) *server.Server {
 	pool := b.servers
 	split := false
@@ -193,16 +217,16 @@ func poolOf(servers []*server.Server, suspect bool) []*server.Server {
 	return out
 }
 
-// pick selects from the pool among the servers that are up, returning nil
-// when none are. With every server up it reproduces the historical
-// behaviour exactly: first-wins least-loaded ties, and an unbroken
-// round-robin sequence.
+// pick selects from the pool among the servers that are up and reachable,
+// returning nil when none are. With every server up and no partition it
+// reproduces the historical behaviour exactly: first-wins least-loaded
+// ties, and an unbroken round-robin sequence.
 func (b *Balancer) pick(pool []*server.Server) *server.Server {
 	switch b.policy {
 	case LeastLoaded:
 		var best *server.Server
 		for _, s := range pool {
-			if !s.Up() {
+			if !b.avail(s) {
 				continue
 			}
 			if best == nil || s.Inflight() < best.Inflight() {
@@ -214,7 +238,7 @@ func (b *Balancer) pick(pool []*server.Server) *server.Server {
 		b.rrNext++
 		n := len(pool)
 		for off := 0; off < n; off++ {
-			if s := pool[(b.rrNext+off)%n]; s.Up() {
+			if s := pool[(b.rrNext+off)%n]; b.avail(s) {
 				// Advance the cursor to the server actually used so the
 				// rotation resumes from it once crashed nodes recover.
 				b.rrNext += off

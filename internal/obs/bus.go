@@ -45,6 +45,10 @@ type Bus struct {
 	recoveries   *Counter
 	faultOpens   *Counter
 	telemetryBad *Counter
+	netDrops     *Counter
+	netRetries   *Counter
+	netTimeouts  *Counter
+	netParts     *Counter
 	powerGauge   *Gauge
 	powerPeak    *Gauge
 
@@ -83,6 +87,10 @@ func NewBus() *Bus {
 		recoveries:   reg.Counter("server_recoveries_total", "server recoveries"),
 		faultOpens:   reg.Counter("faults_windows_total", "fault windows opened"),
 		telemetryBad: reg.Counter("faults_telemetry_corrupted_total", "sensor samples altered by a fault window"),
+		netDrops:     reg.Counter("net_drops_total", "deliveries lost on a lossy link"),
+		netRetries:   reg.Counter("net_retries_total", "delivery retries scheduled"),
+		netTimeouts:  reg.Counter("net_timeouts_total", "deliveries abandoned by the sender's timeout"),
+		netParts:     reg.Counter("net_partitions_total", "link partition windows opened"),
 		powerGauge:   reg.Gauge("core_power_watts", "cluster power, last sample"),
 		powerPeak:    reg.Gauge("core_power_watts_peak", "cluster power, largest sample"),
 		dropReason:   make(map[string]*Counter),
@@ -147,6 +155,14 @@ func (b *Bus) Emit(ev Event) {
 		b.faultOpens.Inc()
 	case KindTelemetry:
 		b.telemetryBad.Inc()
+	case KindNetDrop:
+		b.netDrops.Inc()
+	case KindNetRetry:
+		b.netRetries.Inc()
+	case KindNetTimeout:
+		b.netTimeouts.Inc()
+	case KindNetPartition:
+		b.netParts.Inc()
 	case KindSample:
 		b.powerGauge.Set(ev.A)
 		b.powerPeak.SetMax(ev.A)

@@ -181,6 +181,23 @@ func (tw *traceWriter) event(ev Event) {
 		tw.span(ev.Label, "e", ev.Label+"-"+itoa32(ev.Server), trackFaults, ev.T, "")
 	case KindTelemetry:
 		tw.counter("telemetry-W", trackFaults, ev.T, "W", formatFloat(ev.B))
+	case KindNetDelay:
+		tw.instant("net-delay", trackNetlb, ev.T,
+			`"server":`+itoa32(ev.Server)+`,"delay_s":`+formatFloat(ev.A))
+	case KindNetDrop:
+		tw.instant("net-drop", trackNetlb, ev.T,
+			`"server":`+itoa32(ev.Server)+`,"id":`+u64(ev.ID))
+	case KindNetRetry:
+		tw.instant("net-retry", trackNetlb, ev.T,
+			`"id":`+u64(ev.ID)+`,"retry_at":`+formatFloat(ev.A)+`,"attempt":`+formatFloat(ev.B))
+	case KindNetTimeout:
+		tw.instant("net-timeout", trackNetlb, ev.T,
+			`"server":`+itoa32(ev.Server)+`,"id":`+u64(ev.ID))
+	case KindNetPartition:
+		tw.span("net-partition", "b", "part-s"+itoa32(ev.Server), trackNetlb, ev.T,
+			`"server":`+itoa32(ev.Server))
+	case KindNetHeal:
+		tw.span("net-partition", "e", "part-s"+itoa32(ev.Server), trackNetlb, ev.T, "")
 	case KindSample:
 		tw.counter("power-W", trackCore, ev.T, "W", formatFloat(ev.A))
 		tw.counter("soc", trackCore, ev.T, "soc", formatFloat(ev.B))

@@ -69,6 +69,15 @@ const (
 	KindFaultClose
 	KindTelemetry
 
+	// Network conditions (per-link loss/latency/partition windows and the
+	// delivery layer's timeout/retry machinery).
+	KindNetDelay
+	KindNetDrop
+	KindNetRetry
+	KindNetTimeout
+	KindNetPartition
+	KindNetHeal
+
 	// Periodic sampling (power + battery SoC).
 	KindSample
 
@@ -87,6 +96,8 @@ var kindNames = [...]string{
 	"profiler-flag", "profiler-unflag",
 	"server-crash", "server-recover", "fault-open", "fault-close",
 	"telemetry",
+	"net-delay", "net-drop", "net-retry", "net-timeout",
+	"net-partition", "net-heal",
 	"sample",
 }
 
@@ -129,6 +140,12 @@ func (k Kind) String() string {
 //	profiler-flag      ID=source, A=suspect score (req/s)
 //	fault-open/close   Label=fault kind, A=window end/start, B=param
 //	telemetry          A=true power (W), B=delivered reading (W)
+//	net-delay          Server=link, A=added latency (s), B=attempt
+//	net-drop           Server=link, ID=request, B=attempt
+//	net-retry          ID=request, A=retry time, B=attempt, Label=reason
+//	net-timeout        Server=link, ID=request, A=timeout (s), B=attempt
+//	net-partition      Server=link, A=window end
+//	net-heal           Server=link, A=window start
 //	sample             A=cluster power (W), B=battery state of charge
 type Event struct {
 	T      float64

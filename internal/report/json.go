@@ -41,6 +41,12 @@ type Summary struct {
 	OutageSeconds       float64 `json:"outage_seconds"`
 	TokenDropFrac       float64 `json:"token_drop_frac,omitempty"`
 
+	// Network-condition ledger; zero (and hence omitted) on every run
+	// without network fault windows.
+	NetLost     uint64 `json:"net_lost,omitempty"`
+	NetRetried  uint64 `json:"net_retried,omitempty"`
+	NetTimedOut uint64 `json:"net_timed_out,omitempty"`
+
 	PowerSeries   []SeriesPoint `json:"power_series,omitempty"`
 	BatterySeries []SeriesPoint `json:"battery_series,omitempty"`
 
@@ -94,6 +100,10 @@ func Summarize(res *core.Result, seriesPoints int) Summary {
 		Outages:             res.Outages,
 		OutageSeconds:       res.OutageSeconds,
 		TokenDropFrac:       res.TokenDropFrac,
+
+		NetLost:     res.NetLost,
+		NetRetried:  res.NetRetried,
+		NetTimedOut: res.NetTimedOut,
 	}
 	if seriesPoints > 0 {
 		s.PowerSeries = toPoints(res.Power.Downsample(seriesPoints))

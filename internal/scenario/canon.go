@@ -204,6 +204,7 @@ func (e *emitter) faults(indent int, f *FaultsSpec) {
 		e.numOpt(indent+2, "dvfs", g.DVFS)
 		e.numOpt(indent+2, "firewall_flaps", g.FirewallFlaps)
 		e.numOpt(indent+2, "battery", g.Battery)
+		e.numOpt(indent+2, "net", g.Net)
 		e.numOpt(indent+2, "fade_to", g.FadeTo)
 		e.numOpt(indent+2, "mean_fault_sec", g.MeanFaultSec)
 	}

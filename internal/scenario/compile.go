@@ -249,6 +249,7 @@ func compileRun(s *Scenario, run *RunSpec, o experiments.Options, label string,
 				DVFSFaults:      g.DVFS,
 				FirewallFlaps:   g.FirewallFlaps,
 				BatteryFaults:   g.Battery,
+				NetFaults:       g.Net,
 				BatteryFadeTo:   g.FadeTo,
 				MeanFaultSec:    g.MeanFaultSec,
 			}

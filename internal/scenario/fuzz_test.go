@@ -47,6 +47,7 @@ func FuzzScenario(f *testing.F) {
 	f.Add([]byte("scenario: m\nsim:\n  horizon: 60\nmatrix:\n  schemes: [capping, token]\n  budgets: [low, high]\n"))
 	f.Add([]byte("scenario: d\nsim:\n  horizon: 60\nattack:\n  dope:\n    start: 10\n"))
 	f.Add([]byte("scenario: f\nsim:\n  horizon: 60\nfaults:\n  events:\n    - kind: server-crash\n      at: 5\n      duration: 3\n"))
+	f.Add([]byte("scenario: n\nsim:\n  horizon: 60\nfaults:\n  events:\n    - kind: net-loss\n      at: 5\n      duration: 3\n      server: 1\n      param: 0.5\n    - kind: net-partition\n      at: 10\n      duration: 4\n      server: 0\n  generator:\n    net: 2\n"))
 	f.Add([]byte("scenario: t\nsim:\n\thorizon: 60\n"))
 	f.Add([]byte("scenario: t\nsim:\n  horizon: 1e309\n"))
 	f.Add([]byte(""))

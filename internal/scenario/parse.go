@@ -192,7 +192,8 @@ var (
 	mixCanon      = []string{"none", "eval", "fig18"}
 	kindCanon     = []string{"server-crash", "battery-failure", "battery-fade",
 		"telemetry-dropout", "telemetry-noise", "telemetry-stale",
-		"dvfs-delay", "dvfs-stuck", "firewall-down"}
+		"dvfs-delay", "dvfs-stuck", "firewall-down",
+		"net-delay", "net-loss", "net-partition"}
 	metricCanon = []string{"availability", "sla", "mean-rt", "p90-rt",
 		"mean-power", "p50-power", "peak-power", "over-budget", "peak-over"}
 )
@@ -628,6 +629,9 @@ func (d *dec) faultEvent(n *node, path string) (FaultEventSpec, error) {
 		if out.Kind == "battery-fade" && out.Param > 1 {
 			return out, d.errAt(vn.pos, m.child("param"), "battery-fade param is a capacity fraction in [0, 1]")
 		}
+		if out.Kind == "net-loss" && out.Param > 1 {
+			return out, d.errAt(vn.pos, m.child("param"), "net-loss param is a drop probability in [0, 1]")
+		}
 	}
 	return out, m.finish()
 }
@@ -692,6 +696,7 @@ func (d *dec) generator(n *node, path string) (*GeneratorSpec, error) {
 		{"intensity", &out.Intensity}, {"crashes", &out.Crashes},
 		{"telemetry", &out.Telemetry}, {"dvfs", &out.DVFS},
 		{"firewall_flaps", &out.FirewallFlaps}, {"battery", &out.Battery},
+		{"net", &out.Net},
 		{"fade_to", &out.FadeTo}, {"mean_fault_sec", &out.MeanFaultSec},
 	} {
 		if vn := m.get(f.key); vn != nil {

@@ -171,7 +171,8 @@ type AttackSpec struct {
 type FaultEventSpec struct {
 	// Kind is the kebab-case fault name (server-crash, battery-failure,
 	// battery-fade, telemetry-dropout, telemetry-noise, telemetry-stale,
-	// dvfs-delay, dvfs-stuck, firewall-down).
+	// dvfs-delay, dvfs-stuck, firewall-down, net-delay, net-loss,
+	// net-partition).
 	Kind string
 	At   float64
 	// Duration is required for windowed kinds and forbidden for point
@@ -197,6 +198,9 @@ type GeneratorSpec struct {
 	DVFS          float64
 	FirewallFlaps float64
 	Battery       float64
+	// Net is the expected count of network-condition faults (split evenly
+	// across per-link delay, loss, and partition windows).
+	Net float64
 	// FadeTo, when in (0,1), additionally fades the UPS capacity.
 	FadeTo       float64
 	MeanFaultSec float64

@@ -116,6 +116,23 @@ func twinJobs(t *testing.T, name string, o experiments.Options) []harness.Job {
 			job.Config.Faults = &faults.Config{Generator: &g}
 			jobs = append(jobs, job)
 		}
+	case "resilience-net":
+		horizon := o.Horizon(240)
+		base := faults.GeneratorConfig{
+			Horizon:      horizon,
+			Servers:      cluster.DefaultConfig().Servers,
+			NetFaults:    6,
+			MeanFaultSec: 15,
+		}
+		base.Seed = o.SeedFor("resilience-net/links/1.00")
+		for _, schemeName := range []string{"capping", "shaving", "token", "anti-dope"} {
+			label := fmt.Sprintf("resilience-net/%s/x1.00", schemeName)
+			job := experiments.EvalJob(o, label, experiments.SchemeByName(schemeName),
+				cluster.MediumPB, experiments.EvalAttackSpecs(10, horizon), horizon)
+			g := base
+			job.Config.Faults = &faults.Config{Generator: &g}
+			jobs = append(jobs, job)
+		}
 	default:
 		t.Fatalf("no hand-written twin for scenario %q", name)
 	}
