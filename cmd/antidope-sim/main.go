@@ -47,6 +47,9 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 		promPath   = flag.String("metrics", "", "write the run's metrics in Prometheus text format to this file")
 		eventsPath = flag.String("events", "", "write the full structured event stream as CSV to this file")
+		tlJSON     = flag.String("timeline", "", "write the sim-time timeline (fixed windows of power/admits/drops/retries/SLA) as JSON to this file")
+		tlCSV      = flag.String("timeline-csv", "", "write the sim-time timeline as CSV to this file")
+		serveAddr  = flag.String("serve", "", "serve the run's metrics live (Prometheus text) on this address while it executes, e.g. 127.0.0.1:9464")
 	)
 	flag.Parse()
 
@@ -81,10 +84,41 @@ func main() {
 	}
 	cfg.Attacks = attacks
 
+	// A live endpoint needs the mutex-wrapped LiveBus so the scraper can
+	// read while the run emits; file-only exports keep the lock-free Bus.
 	var bus *obs.Bus
-	if *tracePath != "" || *promPath != "" || *eventsPath != "" {
-		bus = obs.NewBus()
-		cfg.Observer = bus
+	wantBus := *tracePath != "" || *promPath != "" || *eventsPath != "" ||
+		*tlJSON != "" || *tlCSV != "" || *serveAddr != ""
+	if wantBus {
+		var live *obs.LiveBus
+		if *serveAddr != "" {
+			live = obs.NewLiveBus()
+			cfg.Observer = live
+			bus = live.Bus() // only read after the run finishes
+		} else {
+			bus = obs.NewBus()
+			cfg.Observer = bus
+		}
+		if *tlJSON != "" || *tlCSV != "" {
+			// Package defaults: 1 s windows, 250 ms SLA bound.
+			if live != nil {
+				live.EnableTimeline(0, 0)
+			} else {
+				bus.EnableTimeline(0, 0)
+			}
+		}
+		if live != nil {
+			ms, err := obs.Serve(*serveAddr, live)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "antidope-sim: serving metrics on http://%s/metrics\n", ms.Addr())
+			defer func() {
+				if err := ms.Close(); err != nil {
+					fatal(err)
+				}
+			}()
+		}
 	}
 
 	res, err := core.RunOnce(cfg)
@@ -94,7 +128,7 @@ func main() {
 	res.Fprint(os.Stdout)
 
 	if bus != nil {
-		writeObs(bus, *tracePath, *promPath, *eventsPath)
+		writeObs(bus, *tracePath, *promPath, *eventsPath, *tlJSON, *tlCSV)
 	}
 
 	if *reportPath != "" {
@@ -211,8 +245,8 @@ func parseAttacks(spec string, agents int, start, horizon float64) ([]attack.Spe
 }
 
 // writeObs exports the run's observability capture to whichever of the
-// three sinks were requested.
-func writeObs(bus *obs.Bus, tracePath, promPath, eventsPath string) {
+// requested sinks.
+func writeObs(bus *obs.Bus, tracePath, promPath, eventsPath, tlJSON, tlCSV string) {
 	write := func(path, what string, render func(io.Writer) error) {
 		if path == "" {
 			return
@@ -232,6 +266,8 @@ func writeObs(bus *obs.Bus, tracePath, promPath, eventsPath string) {
 	write(tracePath, "trace", bus.WriteChromeTrace)
 	write(promPath, "metrics", bus.WritePrometheus)
 	write(eventsPath, "events", bus.WriteCSV)
+	write(tlJSON, "timeline", bus.WriteTimelineJSON)
+	write(tlCSV, "timeline CSV", bus.WriteTimelineCSV)
 }
 
 func fatal(err error) {

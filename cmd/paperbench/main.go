@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"antidope/internal/experiments"
+	"antidope/internal/harness"
 	"antidope/internal/obs"
 	"antidope/internal/scenario"
 )
@@ -48,13 +49,16 @@ func main() {
 
 		traceLabel = flag.String("trace", "", "capture a Chrome trace of the first run whose label contains this substring (e.g. fig12 or fig18/Anti-DOPE)")
 		traceOut   = flag.String("traceout", "paperbench.trace.json", "trace output path for -trace")
+
+		serveAddr = flag.String("serve", "", "serve live harness telemetry (Prometheus text) on this address for the duration of the run, e.g. 127.0.0.1:9464")
+		manifest  = flag.String("manifest", "", "write the harness run manifest (per-job runtime/retries/worker) as JSON to this file")
 	)
 	flag.Parse()
 
 	// run holds the actual work so the deferred profile/JSON writers flush
 	// before the process exits; os.Exit inside run would skip them.
 	os.Exit(run(*quick, *seed, *fig, *extra, *parallel, *scenarioFile, *scenarioDir,
-		*cpuprofile, *memprofile, *benchjson, *traceLabel, *traceOut))
+		*cpuprofile, *memprofile, *benchjson, *traceLabel, *traceOut, *serveAddr, *manifest))
 }
 
 // errExit unwinds run() on an experiment error after it has already been
@@ -62,7 +66,8 @@ func main() {
 var errExit = errors.New("exit")
 
 func run(quick bool, seed uint64, fig int, extra string, parallel int,
-	scenarioFile, scenarioDir, cpuprofile, memprofile, benchjson, traceLabel, traceOut string) (exitCode int) {
+	scenarioFile, scenarioDir, cpuprofile, memprofile, benchjson, traceLabel, traceOut,
+	serveAddr, manifest string) (exitCode int) {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -128,6 +133,36 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 	}()
 
 	o := experiments.Options{Seed: seed, Quick: quick, Parallel: parallel}
+	if serveAddr != "" || manifest != "" {
+		tele := harness.NewTelemetry()
+		o.Telemetry = tele
+		if serveAddr != "" {
+			ms, err := obs.Serve(serveAddr, tele)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: serving telemetry on http://%s/metrics\n", ms.Addr())
+			defer func() {
+				if err := ms.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+					exitCode = 1
+				}
+			}()
+		}
+		if manifest != "" {
+			// Written even for failed runs: the manifest records which jobs
+			// failed and after how many attempts.
+			defer func() {
+				if err := writeManifest(manifest, tele); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+					exitCode = 1
+					return
+				}
+				fmt.Fprintf(os.Stderr, "paperbench: manifest written to %s\n", manifest)
+			}()
+		}
+	}
 	if traceLabel != "" {
 		// Attach one bus to the FIRST job whose label contains the requested
 		// substring: a bus is stateful, so sharing it across concurrently
@@ -347,6 +382,19 @@ func run(quick bool, seed uint64, fig int, extra string, parallel int,
 		return 1
 	}
 	return 0
+}
+
+// writeManifest dumps the telemetry's run manifest JSON.
+func writeManifest(path string, tele *harness.Telemetry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tele.WriteManifest(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace renders the captured bus as Chrome trace-event JSON.

@@ -124,7 +124,7 @@ func (s *Simulation) deliver(now float64, req *workload.Request, attempt int) {
 		if s.net != nil && s.net.anyPartitioned(now) {
 			// Everything reachable is down; behind the partition the
 			// servers still run, so the sender backs off and retries.
-			s.netFail(now, req, attempt, "net-unreachable")
+			s.netFail(now, req, attempt, -1, "net-unreachable")
 			return
 		}
 		// Every server is down (fault injection): nothing can serve this.
@@ -144,7 +144,7 @@ func (s *Simulation) deliver(now float64, req *workload.Request, attempt int) {
 				})
 			}
 			// The sender only learns of the loss when its timeout lapses.
-			s.netFail(now+s.net.pol.TimeoutSec, req, attempt, "net-loss")
+			s.netFail(now+s.net.pol.TimeoutSec, req, attempt, int32(sv.ID), "net-loss")
 			return
 		}
 		if d := link.DelaySec(now); d > 0 {
@@ -158,7 +158,7 @@ func (s *Simulation) deliver(now float64, req *workload.Request, attempt int) {
 						A: s.net.pol.TimeoutSec, B: float64(attempt),
 					})
 				}
-				s.netFail(now+s.net.pol.TimeoutSec, req, attempt, "net-timeout")
+				s.netFail(now+s.net.pol.TimeoutSec, req, attempt, int32(sv.ID), "net-timeout")
 				return
 			}
 			if s.obs != nil {
@@ -193,8 +193,10 @@ func (s *Simulation) admitTo(now float64, sv *server.Server, req *workload.Reque
 // losses and late deliveries): either the next retry is scheduled with
 // exponential backoff and seeded jitter, or — attempts exhausted, or the
 // retry would land past the horizon — the request is dropped under the
-// failure's reason.
-func (s *Simulation) netFail(knownAt float64, req *workload.Request, attempt int, reason string) {
+// failure's reason. link is the server whose link failed the attempt, or
+// -1 when no route existed; it rides on the retry event so the timeline
+// can attribute retry storms to links.
+func (s *Simulation) netFail(knownAt float64, req *workload.Request, attempt int, link int32, reason string) {
 	drop := func() {
 		req.Dropped = true
 		req.DropReason = reason
@@ -220,7 +222,7 @@ func (s *Simulation) netFail(knownAt float64, req *workload.Request, attempt int
 	s.res.NetRetried++
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{
-			T: s.eng.Now(), Kind: obs.KindNetRetry, Server: -1,
+			T: s.eng.Now(), Kind: obs.KindNetRetry, Server: link,
 			Class: int32(req.Class), ID: req.ID,
 			A: at, B: float64(attempt + 1), Label: reason,
 		})
@@ -261,7 +263,7 @@ func (s *Simulation) netFire(now float64, fl *netFlight) {
 	}
 	sv := s.cl.Servers[fl.server]
 	if !sv.Up() || s.net.links[sv.ID].Partitioned(now) {
-		s.netFail(now, fl.req, int(fl.attempt), "net-unreachable")
+		s.netFail(now, fl.req, int(fl.attempt), int32(sv.ID), "net-unreachable")
 		return
 	}
 	s.admitTo(now, sv, fl.req)

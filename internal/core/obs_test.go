@@ -133,6 +133,41 @@ func TestObservedExportsDeterministic(t *testing.T) {
 	}
 }
 
+// TestObservedTimelineDeterministic runs the chaos scenario twice with
+// timeline aggregation armed and requires the timeline exports to be
+// byte-identical and schema-valid — the integration-level counterpart of
+// the replay tests in internal/obs.
+func TestObservedTimelineDeterministic(t *testing.T) {
+	render := func() (js, csv []byte) {
+		cfg := obsChaosConfig()
+		bus := obs.NewBus()
+		bus.EnableTimeline(0, 0)
+		cfg.Observer = bus
+		if _, err := core.RunOnce(cfg); err != nil {
+			t.Fatalf("RunOnce: %v", err)
+		}
+		var jb, cb bytes.Buffer
+		if err := bus.WriteTimelineJSON(&jb); err != nil {
+			t.Fatalf("WriteTimelineJSON: %v", err)
+		}
+		if err := bus.WriteTimelineCSV(&cb); err != nil {
+			t.Fatalf("WriteTimelineCSV: %v", err)
+		}
+		return jb.Bytes(), cb.Bytes()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if !bytes.Equal(j1, j2) {
+		t.Error("timeline JSON not byte-identical across runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("timeline CSV not byte-identical across runs")
+	}
+	if err := obs.ValidateTimeline(j1); err != nil {
+		t.Errorf("timeline fails validation: %v", err)
+	}
+}
+
 // TestObservedEventKindCoverage requires the chaos scenario to exercise the
 // event kinds its configuration guarantees: the request lifecycle, the
 // defense's frequency actuation, the scripted faults (crash, battery,
@@ -145,6 +180,7 @@ func TestObservedEventKindCoverage(t *testing.T) {
 
 	want := []obs.Kind{
 		obs.KindReqArrive, obs.KindReqStart, obs.KindReqComplete, obs.KindReqDrop,
+		obs.KindAttackOn, obs.KindAttackOff,
 		obs.KindDVFSCommand, obs.KindFreqChange,
 		obs.KindBatteryFail, obs.KindBatteryRepair, obs.KindBatteryFade,
 		obs.KindFirewallDown, obs.KindFirewallUp,

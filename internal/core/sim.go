@@ -345,6 +345,9 @@ func (s *Simulation) Start() {
 	if s.flt != nil {
 		s.flt.arm(s)
 	}
+	// Ground-truth attack markers for trace analytics; emit-only, scheduled
+	// solely when an observer is installed (same contract as fault markers).
+	s.armAttackObserver()
 	// Arrival pump for the merged static stream.
 	if s.mix != nil {
 		s.pumpMix()
@@ -358,6 +361,59 @@ func (s *Simulation) Start() {
 	s.ctrlTicker = s.eng.Tick(s.cfg.SlotSec, s.cfg.SlotSec, s.controlTick)
 	// Initial sample at t=0 so series start at the origin.
 	s.sample(0)
+}
+
+// armAttackObserver schedules emit-only attack-on/attack-off markers
+// bracketing every static flood window, plus an open marker at the adaptive
+// attacker's start, so analyzers can measure detection lag against the
+// ground truth of when the attack began. Like the fault markers, the
+// closures mutate nothing and exist only under an observer, so the
+// unobserved event sequence (and the goldens) is untouched.
+func (s *Simulation) armAttackObserver() {
+	if s.obs == nil {
+		return
+	}
+	h := s.cfg.Horizon
+	for i := range s.cfg.Attacks {
+		spec := s.cfg.Attacks[i]
+		if spec.Start >= h {
+			continue
+		}
+		end := spec.Start + spec.Duration
+		s.eng.Schedule(spec.Start, func(now float64) {
+			if s.obs == nil {
+				return
+			}
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindAttackOn, Server: -1,
+				Class: int32(spec.Class), A: end, B: spec.RateRPS,
+				Label: spec.Name,
+			})
+		})
+		if end >= h {
+			continue
+		}
+		s.eng.Schedule(end, func(now float64) {
+			if s.obs == nil {
+				return
+			}
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindAttackOff, Server: -1,
+				Class: int32(spec.Class), A: spec.Start, Label: spec.Name,
+			})
+		})
+	}
+	if s.dope != nil && s.cfg.DopeStart < h {
+		s.eng.Schedule(s.cfg.DopeStart, func(now float64) {
+			if s.obs == nil {
+				return
+			}
+			s.obs.Emit(obs.Event{
+				T: now, Kind: obs.KindAttackOn, Server: -1, Class: -1,
+				A: h, Label: "dope",
+			})
+		})
+	}
 }
 
 // RunTo drains events batch-by-batch until the clock reaches t. Events

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"antidope/internal/attack"
 	"antidope/internal/cluster"
@@ -107,6 +108,19 @@ type Snapshot struct {
 // At returns the simulated instant the snapshot was captured at.
 func (snap *Snapshot) At() float64 { return snap.at }
 
+// snapshotCount and forkCount are process-wide telemetry totals read by the
+// harness's self-observability (run manifests, the live scrape endpoint).
+// They are the only package-level mutable state in core, deliberately so:
+// pure observation counters that no simulation ever reads, with no effect
+// on any run's behaviour or determinism.
+var snapshotCount, forkCount atomic.Uint64
+
+// SnapshotStats returns the process-wide totals of snapshots captured and
+// forks built since process start. Monotone; safe from any goroutine.
+func SnapshotStats() (snapshots, forks uint64) {
+	return snapshotCount.Load(), forkCount.Load()
+}
+
 // Snapshot captures the simulation's complete mid-run state for later
 // forking. Call it between Start and Finish, immediately after a RunTo — the
 // engine must hold no pending event at or before the current instant (RunTo
@@ -127,6 +141,7 @@ func (s *Simulation) Snapshot() (*Snapshot, error) {
 	if s.ctrlTicker == nil {
 		return nil, fmt.Errorf("core: snapshot before Start")
 	}
+	snapshotCount.Add(1)
 
 	snap := &Snapshot{
 		cfg: s.cfg,
@@ -227,6 +242,7 @@ func (s *Simulation) Snapshot() (*Snapshot, error) {
 // sequence numbers), then the grid-aligned chains in their recorded sequence
 // order, then the continuous-time chains whose timestamps never coincide.
 func (snap *Snapshot) Fork() *Simulation {
+	forkCount.Add(1)
 	s := &Simulation{
 		cfg: snap.cfg,
 		eng: simtime.NewEngine(),

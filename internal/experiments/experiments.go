@@ -34,6 +34,11 @@ type Options struct {
 	// (or observe a single label) — sharing one across concurrently
 	// running jobs interleaves their event streams.
 	Observe func(label string) obs.Observer
+	// Telemetry, when non-nil, is attached to every pool the runners
+	// build: the harness records per-job runtime, retries, and worker
+	// occupancy into it (scrapeable live, dumpable as a run manifest).
+	// Purely self-observability — results are identical with or without.
+	Telemetry *harness.Telemetry
 }
 
 // DefaultOptions is the full-fidelity setting used for EXPERIMENTS.md.
@@ -65,7 +70,9 @@ func (o Options) SeedFor(label string) uint64 {
 }
 
 // pool builds the worker pool every runner submits its jobs to.
-func (o Options) pool() *harness.Pool { return harness.New(o.Parallel) }
+func (o Options) pool() *harness.Pool {
+	return harness.New(o.Parallel).WithTelemetry(o.Telemetry)
+}
 
 // RunJobs executes the jobs on the options' pool and returns the bare
 // results in submission order. A non-nil error joins every job that still

@@ -73,6 +73,7 @@ type Pool struct {
 	workers int
 	retry   RetryPolicy
 	timeout time.Duration
+	tele    *Telemetry
 }
 
 // WithRetry replaces the pool's retry policy and returns the pool for
@@ -90,6 +91,16 @@ func (p *Pool) WithRetry(r RetryPolicy) *Pool {
 // goroutine runs to completion in the background; its result is discarded.
 func (p *Pool) WithJobTimeout(d time.Duration) *Pool {
 	p.timeout = d
+	return p
+}
+
+// WithTelemetry attaches a harness self-observability collector: per-job
+// wall runtime, retries, and worker occupancy land in its registry (see
+// Telemetry). Nil detaches. Telemetry observes only how the host executed
+// the jobs — the simulations inside stay purely sim-time, so attaching it
+// cannot change any result.
+func (p *Pool) WithTelemetry(t *Telemetry) *Pool {
+	p.tele = t
 	return p
 }
 
@@ -115,10 +126,11 @@ func (p *Pool) Run(jobs []Job) []RunResult {
 	if len(jobs) == 0 {
 		return out
 	}
+	p.tele.poolStarted(p.workers)
 	if p.workers == 1 || len(jobs) == 1 {
 		var cache simCache
 		for i, j := range jobs {
-			out[i] = p.runJob(&cache, j)
+			out[i] = p.runJob(&cache, j, 0)
 		}
 		return out
 	}
@@ -126,16 +138,16 @@ func (p *Pool) Run(jobs []Job) []RunResult {
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// Each worker keeps one simulation alive across its jobs:
 			// Reset recycles the warmed event pool and request arena
 			// instead of reallocating them per run.
 			var cache simCache
 			for i := range idx {
-				out[i] = p.runJob(&cache, jobs[i])
+				out[i] = p.runJob(&cache, jobs[i], worker)
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		idx <- i
@@ -182,7 +194,8 @@ func (p *Pool) Go(fns []func()) {
 // component observed traffic yet); retrying after a mid-run panic or
 // timeout is best-effort — the config's Scheme may have observed part of a
 // run, which the seed perturbation cannot undo.
-func (p *Pool) runJob(cache *simCache, j Job) RunResult {
+func (p *Pool) runJob(cache *simCache, j Job, worker int) RunResult {
+	done := p.tele.jobBegin(worker, j.Label)
 	tries := p.retry.attempts()
 	var res *core.Result
 	var err error
@@ -191,9 +204,11 @@ func (p *Pool) runJob(cache *simCache, j Job) RunResult {
 		cfg.Seed = j.Config.Seed + uint64(k)*p.retry.Backoff
 		res, err = p.runOnce(cache, cfg)
 		if err == nil {
+			done(k+1, nil)
 			return RunResult{Label: j.Label, Result: res, Attempts: k + 1}
 		}
 	}
+	done(tries, err)
 	return RunResult{Label: j.Label, Result: res, Err: err, Attempts: tries}
 }
 
@@ -203,6 +218,7 @@ func (p *Pool) runJob(cache *simCache, j Job) RunResult {
 // just at the sink: the watchdog timer is wall-clock ON PURPOSE even
 // though every simulation run flows through here — it decides when to
 // abandon a hung attempt and never feeds a value into a simulation.
+//
 //lint:allow walltime -- watchdog only; wall time never enters a simulation
 func (p *Pool) runOnce(cache *simCache, cfg core.Config) (*core.Result, error) {
 	if p.timeout <= 0 {

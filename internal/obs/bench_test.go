@@ -28,6 +28,33 @@ func TestBusEmitAmortizedAllocs(t *testing.T) {
 	}
 }
 
+// TestTimelineEmitAmortizedAllocs extends the proof to the timeline fold:
+// with EnableTimeline attached, the warmed emit loop stays allocation-free
+// — BeginRun keeps window capacity, so steady state only writes into it.
+func TestTimelineEmitAmortizedAllocs(t *testing.T) {
+	b := NewBus()
+	b.EnableTimeline(1.0, 0.25)
+	evs := []Event{
+		{T: 1, Kind: KindReqArrive, Class: 0, ID: 1, Label: "Colla-Filt"},
+		{T: 2, Kind: KindReqComplete, Server: 0, Class: 0, ID: 1, A: 1, B: 1, Label: "Colla-Filt"},
+		{T: 3, Kind: KindNetRetry, Server: 2, ID: 1, A: 1},
+		{T: 4, Kind: KindSample, A: 800, B: 0.9},
+	}
+	warm := func() {
+		b.BeginRun()
+		for i := 0; i < 2*chunkEvents; i++ {
+			ev := evs[i%len(evs)]
+			ev.T += float64(i % 64) // spread across windows
+			b.Emit(ev)
+		}
+	}
+	warm() // allocate chunks, windows, and link rows once
+	allocs := testing.AllocsPerRun(5, warm)
+	if allocs > 0 {
+		t.Fatalf("warm timeline Emit loop allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
 // BenchmarkBusEmit is the enabled-path cost of one event through recorder
 // and metrics; registered with benchregress.
 func BenchmarkBusEmit(b *testing.B) {

@@ -53,6 +53,10 @@ type Bus struct {
 	powerPeak    *Gauge
 
 	dropReason map[string]*Counter
+
+	// tl is the optional sim-time timeline aggregation; nil (the default)
+	// keeps Emit's fold exactly as cheap as before EnableTimeline existed.
+	tl *Timeline
 }
 
 // NewBus builds a Bus with the fixed metric taxonomy registered.
@@ -168,7 +172,24 @@ func (b *Bus) Emit(ev Event) {
 		b.powerPeak.SetMax(ev.A)
 		b.socGauge.Set(ev.B)
 	}
+	if b.tl != nil {
+		b.tl.Add(ev)
+	}
 }
+
+// EnableTimeline attaches a sim-time timeline aggregation to the bus (see
+// Timeline); zero arguments select the defaults. Every subsequent Emit
+// folds into it, BeginRun resets it alongside recorder and registry. Call
+// before the run starts; the fold is online-only, events emitted earlier
+// are not replayed.
+func (b *Bus) EnableTimeline(widthSec, slaSec float64) *Timeline {
+	b.tl = NewTimeline(widthSec, slaSec)
+	return b.tl
+}
+
+// Timeline returns the attached timeline, or nil when EnableTimeline was
+// never called.
+func (b *Bus) Timeline() *Timeline { return b.tl }
 
 // dropCounter returns the per-reason drop counter, building the metric
 // name only on the reason's first occurrence.
@@ -183,8 +204,14 @@ func (b *Bus) dropCounter(reason string) *Counter {
 }
 
 // sanitizeMetric maps an arbitrary static label into the Prometheus metric
-// name alphabet.
+// name alphabet: ASCII letters lowercase, every other byte (including each
+// byte of a multi-byte rune) becomes '_', a leading digit gains a '_'
+// prefix, and the empty string maps to "_" so the result is always a valid
+// name fragment.
 func sanitizeMetric(s string) string {
+	if s == "" {
+		return "_"
+	}
 	out := []byte(s)
 	for i, ch := range out {
 		switch {
@@ -194,6 +221,9 @@ func sanitizeMetric(s string) string {
 		default:
 			out[i] = '_'
 		}
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		return "_" + string(out)
 	}
 	return string(out)
 }
@@ -205,6 +235,9 @@ func sanitizeMetric(s string) string {
 func (b *Bus) BeginRun() {
 	b.rec.Reset()
 	b.reg.Reset()
+	if b.tl != nil {
+		b.tl.Reset()
+	}
 }
 
 // Events exposes the recorded stream for exporters.
@@ -221,3 +254,21 @@ func (b *Bus) WriteCSV(w io.Writer) error { return WriteCSV(w, &b.rec) }
 
 // WritePrometheus renders the metrics in Prometheus text format.
 func (b *Bus) WritePrometheus(w io.Writer) error { return b.reg.WritePrometheus(w) }
+
+// WriteTimelineJSON renders the attached timeline as JSON; it is an error
+// to call without EnableTimeline.
+func (b *Bus) WriteTimelineJSON(w io.Writer) error {
+	if b.tl == nil {
+		return errNoTimeline
+	}
+	return b.tl.WriteJSON(w)
+}
+
+// WriteTimelineCSV renders the attached timeline as CSV; it is an error to
+// call without EnableTimeline.
+func (b *Bus) WriteTimelineCSV(w io.Writer) error {
+	if b.tl == nil {
+		return errNoTimeline
+	}
+	return b.tl.WriteCSV(w)
+}

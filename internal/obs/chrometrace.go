@@ -201,5 +201,10 @@ func (tw *traceWriter) event(ev Event) {
 	case KindSample:
 		tw.counter("power-W", trackCore, ev.T, "W", formatFloat(ev.A))
 		tw.counter("soc", trackCore, ev.T, "soc", formatFloat(ev.B))
+	case KindAttackOn:
+		tw.span("attack:"+ev.Label, "b", "attack-"+ev.Label, trackCore, ev.T,
+			`"rate_rps":`+formatFloat(ev.B)+`,"end_s":`+formatFloat(ev.A))
+	case KindAttackOff:
+		tw.span("attack:"+ev.Label, "e", "attack-"+ev.Label, trackCore, ev.T, "")
 	}
 }

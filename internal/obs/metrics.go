@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Counter is a monotonically increasing count.
@@ -83,8 +84,13 @@ func NewRegistry() *Registry {
 
 // Counter returns the counter registered under name, creating it on first
 // use. Registering the same name as a different metric kind panics: names
-// are a flat, typed namespace.
+// are a flat, typed namespace. Counter names must carry the Prometheus
+// `_total` suffix — exposition conformance is enforced at registration, not
+// left to the exporter.
 func (r *Registry) Counter(name, help string) *Counter {
+	if !strings.HasSuffix(name, "_total") {
+		panic("obs: counter " + name + " must end in _total")
+	}
 	m := r.get(name, help)
 	if m.c == nil {
 		if m.g != nil || m.h != nil {
@@ -152,7 +158,8 @@ func (r *Registry) Reset() {
 }
 
 // WritePrometheus renders every metric in Prometheus text exposition
-// format, in sorted-name order.
+// format, in sorted-name order. Every metric gets a # HELP and a # TYPE
+// line — scrapers and the conformance validator may rely on both.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	names := make([]string, 0, len(r.metrics))
 	for name := range r.metrics {
@@ -165,6 +172,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		m := r.metrics[name]
 		if m.help != "" {
 			bw.WriteString("# HELP " + name + " " + m.help + "\n")
+		} else {
+			bw.WriteString("# HELP " + name + "\n")
 		}
 		switch {
 		case m.c != nil:
@@ -189,6 +198,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	return bw.Flush()
 }
+
+// FormatFloat renders a float deterministically: shortest round-trip form,
+// with non-finite values spelled the Prometheus way. Exported for the
+// byte-reproducible exporters layered on top of this package
+// (internal/obs/analyze, cmd/tracereport).
+func FormatFloat(v float64) string { return formatFloat(v) }
 
 // formatFloat renders a float deterministically: shortest round-trip form,
 // with non-finite values spelled the Prometheus way.

@@ -81,6 +81,13 @@ const (
 	// Periodic sampling (power + battery SoC).
 	KindSample
 
+	// Ground-truth attack-window markers (flood open/close, DOPE start).
+	// Emit-only engine events scheduled by core.Start solely when an
+	// observer is installed, so trace analyzers can measure detection lag
+	// against the moment the attack actually began.
+	KindAttackOn
+	KindAttackOff
+
 	numKinds int = iota
 )
 
@@ -99,6 +106,7 @@ var kindNames = [...]string{
 	"net-delay", "net-drop", "net-retry", "net-timeout",
 	"net-partition", "net-heal",
 	"sample",
+	"attack-on", "attack-off",
 }
 
 // String returns the stable kebab-case event name.
@@ -142,11 +150,16 @@ func (k Kind) String() string {
 //	telemetry          A=true power (W), B=delivered reading (W)
 //	net-delay          Server=link, A=added latency (s), B=attempt
 //	net-drop           Server=link, ID=request, B=attempt
-//	net-retry          ID=request, A=retry time, B=attempt, Label=reason
+//	net-retry          Server=link of the failed attempt (-1 when no route
+//	                   existed), ID=request, A=retry time, B=attempt,
+//	                   Label=reason
 //	net-timeout        Server=link, ID=request, A=timeout (s), B=attempt
 //	net-partition      Server=link, A=window end
 //	net-heal           Server=link, A=window start
 //	sample             A=cluster power (W), B=battery state of charge
+//	attack-on          A=scheduled window end, B=rate (req/s, 0 for DOPE),
+//	                   Label=attack name
+//	attack-off         A=window start, Label=attack name
 type Event struct {
 	T      float64
 	Kind   Kind

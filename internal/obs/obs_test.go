@@ -212,6 +212,14 @@ func sampleEvents() []Event {
 		{T: 14, Kind: KindFaultClose, Server: 2, A: 13, Label: "dvfs-stuck"},
 		{T: 15, Kind: KindTelemetry, A: 900, B: 450},
 		{T: 16, Kind: KindSample, A: 880, B: 0.85},
+		{T: 17, Kind: KindNetDelay, Server: 1, ID: 12, A: 0.02},
+		{T: 17, Kind: KindNetRetry, Server: 1, ID: 12, A: 1, Label: "net-loss"},
+		{T: 17, Kind: KindNetTimeout, Server: 1, ID: 12, A: 0.5, Label: "net-timeout"},
+		{T: 18, Kind: KindNetDrop, Server: -1, ID: 13, A: 3, Label: "net-loss"},
+		{T: 18, Kind: KindNetPartition, Server: 1, A: 19, Label: "partition"},
+		{T: 19, Kind: KindNetHeal, Server: 1, A: 18, Label: "partition"},
+		{T: 19, Kind: KindAttackOn, Server: -1, Class: 0, A: 25, B: 450, Label: "colla-filt-flood"},
+		{T: 20, Kind: KindAttackOff, Server: -1, Class: 0, A: 19, Label: "colla-filt-flood"},
 	}
 	return evs
 }
@@ -244,12 +252,17 @@ func TestValidateRejectsMalformedTraces(t *testing.T) {
 		"no ts":         `{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":1}]}`,
 		"X without dur": `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1,"ts":0}]}`,
 		"b without id":  `{"traceEvents":[{"name":"x","ph":"b","pid":1,"tid":1,"ts":0}]}`,
-		"only meta":     `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"args":{}}]}`,
 	}
 	for name, data := range cases {
 		if err := ValidateChromeTrace([]byte(data)); err == nil {
 			t.Errorf("%s: validation unexpectedly passed", name)
 		}
+	}
+	// A metadata-only trace is the empty-capture shape: a fresh bus still
+	// declares its process/track structure, and that must stay loadable.
+	onlyMeta := `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"args":{}}]}`
+	if err := ValidateChromeTrace([]byte(onlyMeta)); err != nil {
+		t.Errorf("metadata-only trace rejected: %v", err)
 	}
 }
 
@@ -272,6 +285,60 @@ func TestCSVCoversEveryEvent(t *testing.T) {
 	}
 	if want := "0.4,req-complete,0,0,1,0.1,0.3,Colla-Filt"; lines[3] != want {
 		t.Fatalf("line 3 = %q, want %q", lines[3], want)
+	}
+}
+
+// TestEmptyCaptureExports locks the empty-capture edge of every exporter:
+// a fresh bus and a BeginRun-reset bus must render identical, valid,
+// byte-stable output — no trailing commas, no missing headers, and the
+// Prometheus render must still carry every HELP/TYPE declaration.
+func TestEmptyCaptureExports(t *testing.T) {
+	render := func(b *Bus) (c, v, p string) {
+		var cb, vb, pb bytes.Buffer
+		if err := b.WriteChromeTrace(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteCSV(&vb); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WritePrometheus(&pb); err != nil {
+			t.Fatal(err)
+		}
+		return cb.String(), vb.String(), pb.String()
+	}
+	c1, v1, p1 := render(NewBus())
+
+	// A used-then-reset bus is the same empty capture for the event-stream
+	// exporters. The Prometheus render keeps dynamically registered names
+	// (per-reason drop counters) at zero by design, so it is checked for
+	// validity and stability rather than fresh-bus equality.
+	reset := NewBus()
+	for _, ev := range sampleEvents() {
+		reset.Emit(ev)
+	}
+	reset.BeginRun()
+	c2, v2, p2 := render(reset)
+	if c1 != c2 || v1 != v2 {
+		t.Error("BeginRun-reset bus renders event streams differently from a fresh bus")
+	}
+	if _, _, again := render(reset); p2 != again {
+		t.Error("reset-bus prometheus render not byte-stable")
+	}
+	if err := ValidatePrometheus([]byte(p2)); err != nil {
+		t.Errorf("reset-bus prometheus render fails validation: %v", err)
+	}
+
+	if err := ValidateChromeTrace([]byte(c1)); err != nil {
+		t.Errorf("empty chrome trace fails validation: %v\n%s", err, c1)
+	}
+	if err := ValidatePrometheus([]byte(p1)); err != nil {
+		t.Errorf("empty prometheus render fails validation: %v\n%s", err, p1)
+	}
+	if v1 != csvHeader+"\n" {
+		t.Errorf("empty CSV must be exactly the header line, got %q", v1)
+	}
+	if events, err := ParseCSVEvents(bytes.NewBufferString(v1)); err != nil || len(events) != 0 {
+		t.Errorf("empty CSV round-trip: events=%d err=%v", len(events), err)
 	}
 }
 

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheus checks data against the subset of the Prometheus text
+// exposition format the registry emits. The rules it enforces are the
+// conformance contract of DESIGN.md §9: every metric declares # HELP then
+// # TYPE before any sample, counter names end in _total with finite
+// non-negative values, histogram buckets are cumulative and close with
+// le="+Inf", and the _count series equals the +Inf bucket. Metric names
+// must fit [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidatePrometheus(data []byte) error {
+	type state struct {
+		name     string
+		typ      string
+		help     bool
+		samples  int
+		lastCum  uint64
+		sawInf   bool
+		sawSum   bool
+		sawCount bool
+	}
+	metrics := map[string]*state{}
+	var order []*state
+	get := func(name string) *state {
+		if m, ok := metrics[name]; ok {
+			return m
+		}
+		m := &state{name: name}
+		metrics[name] = m
+		order = append(order, m)
+		return m
+	}
+
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "HELP" {
+				m := get(fields[2])
+				if m.help {
+					return fmt.Errorf("line %d: duplicate # HELP for %s", lineNo, m.name)
+				}
+				if m.typ != "" || m.samples > 0 {
+					return fmt.Errorf("line %d: # HELP for %s after its # TYPE or samples", lineNo, m.name)
+				}
+				m.help = true
+				continue
+			}
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return fmt.Errorf("line %d: metric %s has unknown type %q", lineNo, name, typ)
+				}
+				if typ == "counter" && !strings.HasSuffix(name, "_total") {
+					return fmt.Errorf("line %d: counter %s missing the _total suffix", lineNo, name)
+				}
+				m := get(name)
+				if m.typ != "" {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+				}
+				if m.samples > 0 {
+					return fmt.Errorf("line %d: # TYPE for %s after its samples", lineNo, name)
+				}
+				if !m.help {
+					return fmt.Errorf("line %d: # TYPE for %s without a preceding # HELP", lineNo, name)
+				}
+				m.typ = typ
+				continue
+			}
+			// Other comment lines are legal exposition content.
+			continue
+		}
+
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: sample without a value: %q", lineNo, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		name, labels := key, ""
+		if br := strings.IndexByte(key, '{'); br >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return fmt.Errorf("line %d: unterminated label set in %q", lineNo, key)
+			}
+			name, labels = key[:br], key[br+1:len(key)-1]
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid sample name %q", lineNo, name)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: sample %s value %q: %v", lineNo, name, valStr, err)
+		}
+
+		base, sub := name, ""
+		m, declared := metrics[name]
+		if !declared || m.typ == "" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				trimmed := strings.TrimSuffix(name, suf)
+				if trimmed == name {
+					continue
+				}
+				if hm, ok := metrics[trimmed]; ok && hm.typ == "histogram" {
+					base, sub, m, declared = trimmed, suf, hm, true
+					break
+				}
+			}
+		}
+		if !declared || m.typ == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		m.samples++
+
+		switch m.typ {
+		case "counter":
+			if math.IsNaN(val) || val < 0 {
+				return fmt.Errorf("line %d: counter %s has non-monotone value %v", lineNo, name, val)
+			}
+		case "histogram":
+			switch sub {
+			case "_bucket":
+				le := labelValue(labels, "le")
+				if le == "" {
+					return fmt.Errorf("line %d: %s bucket without an le label", lineNo, base)
+				}
+				cum := uint64(val)
+				if float64(cum) != val || val < 0 { //lint:allow floateq -- exact round-trip test for whole-number bucket counts
+					return fmt.Errorf("line %d: %s bucket count %v not a whole number", lineNo, base, val)
+				}
+				if cum < m.lastCum {
+					return fmt.Errorf("line %d: %s buckets not cumulative (%d after %d)", lineNo, base, cum, m.lastCum)
+				}
+				if m.sawInf {
+					return fmt.Errorf("line %d: %s bucket after le=\"+Inf\"", lineNo, base)
+				}
+				m.lastCum = cum
+				if le == "+Inf" {
+					m.sawInf = true
+				}
+			case "_sum":
+				m.sawSum = true
+			case "_count":
+				if !m.sawInf {
+					return fmt.Errorf("line %d: %s_count before its le=\"+Inf\" bucket", lineNo, base)
+				}
+				if uint64(val) != m.lastCum || float64(uint64(val)) != val { //lint:allow floateq -- exact round-trip test for whole-number sample counts
+					return fmt.Errorf("line %d: %s_count %v disagrees with +Inf bucket %d", lineNo, base, val, m.lastCum)
+				}
+				m.sawCount = true
+			default:
+				return fmt.Errorf("line %d: bare sample %s of histogram %s", lineNo, name, base)
+			}
+		}
+	}
+
+	for _, m := range order {
+		if m.typ == "" {
+			if m.help {
+				return fmt.Errorf("metric %s: # HELP without # TYPE", m.name)
+			}
+			continue
+		}
+		if m.samples == 0 {
+			return fmt.Errorf("metric %s: declared but never sampled", m.name)
+		}
+		if m.typ == "histogram" && !(m.sawInf && m.sawSum && m.sawCount) {
+			return fmt.Errorf("metric %s: incomplete histogram series", m.name)
+		}
+	}
+	return nil
+}
+
+// validMetricName reports whether name fits the Prometheus metric-name
+// alphabet.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_', ch == ':':
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelValue extracts one label's unquoted value from a rendered label set
+// (k1="v1",k2="v2"); empty when absent. Sufficient for the label grammar
+// this package emits — values never contain escaped quotes.
+func labelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		if part[:eq] != key {
+			continue
+		}
+		v := part[eq+1:]
+		if len(v) >= 2 && v[0] == '"' && v[len(v)-1] == '"' {
+			return v[1 : len(v)-1]
+		}
+	}
+	return ""
+}

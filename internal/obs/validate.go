@@ -3,14 +3,17 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // ValidateChromeTrace checks data against the subset of the Chrome
 // trace-event schema this package emits: a {"traceEvents":[...]} object
 // whose records all carry a name, a known phase, pid 1, a non-negative
 // timestamp (metadata excepted), a non-negative duration on complete
-// events, and an id on async begin/end pairs. It is the CI smoke gate for
-// exporter drift — a loadable-in-Perfetto sanity check, not a full schema.
+// events, and an id on async begin/end pairs. A metadata-only trace is
+// valid — an empty capture still declares its process and subsystem
+// tracks. It is the CI smoke gate for exporter drift — a
+// loadable-in-Perfetto sanity check, not a full schema.
 func ValidateChromeTrace(data []byte) error {
 	var doc struct {
 		TraceEvents []json.RawMessage `json:"traceEvents"`
@@ -21,7 +24,6 @@ func ValidateChromeTrace(data []byte) error {
 	if len(doc.TraceEvents) == 0 {
 		return fmt.Errorf("trace has no traceEvents")
 	}
-	seenNonMeta := false
 	for i, raw := range doc.TraceEvents {
 		var rec struct {
 			Name string   `json:"name"`
@@ -48,7 +50,6 @@ func ValidateChromeTrace(data []byte) error {
 		default:
 			return fmt.Errorf("traceEvents[%d] %q: unknown phase %q", i, rec.Name, rec.Ph)
 		}
-		seenNonMeta = true
 		if rec.Ts == nil || *rec.Ts < 0 {
 			return fmt.Errorf("traceEvents[%d] %q: missing or negative ts", i, rec.Name)
 		}
@@ -62,8 +63,91 @@ func ValidateChromeTrace(data []byte) error {
 			return fmt.Errorf("traceEvents[%d] %q: async event needs an id", i, rec.Name)
 		}
 	}
-	if !seenNonMeta {
-		return fmt.Errorf("trace contains only metadata records")
+	return nil
+}
+
+// ValidateTimeline checks data against the antidope-timeline/v1 JSON
+// schema WriteJSON emits: the schema tag, a positive finite window width,
+// strictly ascending latency bounds, windows whose starts are strictly
+// monotone and consistent with index*width, per-window bucket arrays of
+// len(bounds)+1 whose counts sum to the window's completions, a
+// non-negative histogram sum, and per-link retry rows no longer than the
+// window list.
+func ValidateTimeline(data []byte) error {
+	var doc struct {
+		Schema  string    `json:"schema"`
+		WindowS float64   `json:"window_s"`
+		SLAS    float64   `json:"sla_s"`
+		Bounds  []float64 `json:"latency_bounds_s"`
+		Windows []struct {
+			StartS         float64  `json:"start_s"`
+			Completions    uint64   `json:"completions"`
+			Samples        uint64   `json:"samples"`
+			LatencySumS    float64  `json:"latency_sum_s"`
+			LatencyBuckets []uint64 `json:"latency_buckets"`
+			PowerMaxW      float64  `json:"power_max_w"`
+			PowerMinW      float64  `json:"power_min_w"`
+		} `json:"windows"`
+		LinkRetries []struct {
+			Link    int      `json:"link"`
+			Windows []uint64 `json:"windows"`
+		} `json:"link_retries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("timeline is not valid JSON: %w", err)
+	}
+	if doc.Schema != TimelineSchema {
+		return fmt.Errorf("schema %q, want %q", doc.Schema, TimelineSchema)
+	}
+	if !(doc.WindowS > 0) || math.IsInf(doc.WindowS, 0) {
+		return fmt.Errorf("window_s %v: must be positive and finite", doc.WindowS)
+	}
+	if !(doc.SLAS > 0) {
+		return fmt.Errorf("sla_s %v: must be positive", doc.SLAS)
+	}
+	for i := 1; i < len(doc.Bounds); i++ {
+		if !(doc.Bounds[i] > doc.Bounds[i-1]) {
+			return fmt.Errorf("latency_bounds_s[%d]: bounds not strictly ascending", i)
+		}
+	}
+	prev := math.Inf(-1)
+	for i, w := range doc.Windows {
+		if !(w.StartS > prev) {
+			return fmt.Errorf("windows[%d]: start_s %v not strictly after previous %v", i, w.StartS, prev)
+		}
+		want := float64(i) * doc.WindowS
+		if math.Abs(w.StartS-want) > doc.WindowS*1e-9 {
+			return fmt.Errorf("windows[%d]: start_s %v inconsistent with index*window_s %v", i, w.StartS, want)
+		}
+		if len(w.LatencyBuckets) != len(doc.Bounds)+1 {
+			return fmt.Errorf("windows[%d]: %d latency buckets, want %d",
+				i, len(w.LatencyBuckets), len(doc.Bounds)+1)
+		}
+		if !(w.LatencySumS >= 0) {
+			return fmt.Errorf("windows[%d]: latency_sum_s %v negative or NaN", i, w.LatencySumS)
+		}
+		var n uint64
+		for _, c := range w.LatencyBuckets {
+			n += c
+		}
+		if n != w.Completions {
+			return fmt.Errorf("windows[%d]: bucket counts sum to %d, completions %d", i, n, w.Completions)
+		}
+		if w.Samples > 0 && w.PowerMaxW < w.PowerMinW {
+			return fmt.Errorf("windows[%d]: power_max_w %v below power_min_w %v", i, w.PowerMaxW, w.PowerMinW)
+		}
+		prev = w.StartS
+	}
+	lastLink := -1
+	for i, lr := range doc.LinkRetries {
+		if lr.Link <= lastLink {
+			return fmt.Errorf("link_retries[%d]: link %d not strictly ascending", i, lr.Link)
+		}
+		if len(lr.Windows) > len(doc.Windows) {
+			return fmt.Errorf("link_retries[%d]: %d windows, timeline has %d",
+				i, len(lr.Windows), len(doc.Windows))
+		}
+		lastLink = lr.Link
 	}
 	return nil
 }

@@ -65,9 +65,12 @@ func TestHotPathAllocFree(t *testing.T) {
 
 // TestHotPathAllocFreeObserved locks in the enabled-observer budget: once
 // the bus's event pool is warm, emitting through the server hot path
-// recycles pooled chunks and allocates nothing per event.
+// recycles pooled chunks and allocates nothing per event — including the
+// timeline fold, which is armed here so its window accounting rides the
+// same budget.
 func TestHotPathAllocFreeObserved(t *testing.T) {
 	bus := obs.NewBus()
+	bus.EnableTimeline(1.0, 0.25)
 	// Warm the pool past two chunks, then reset: steady-state emission now
 	// draws from the free list instead of growing the heap.
 	for i := 0; i < 10000; i++ {
